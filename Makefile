@@ -1,0 +1,33 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test bench evaluate evaluate-quick figures clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Paper-scale regeneration of every table and figure (several minutes).
+evaluate:
+	$(PYTHON) examples/run_full_evaluation.py | tee results/full_evaluation.txt
+
+evaluate-quick:
+	$(PYTHON) examples/run_full_evaluation.py --quick
+
+figures:
+	$(PYTHON) -m repro figure 5.1
+	$(PYTHON) -m repro figure 4
+	$(PYTHON) -m repro figure 5a
+
+clean:
+	rm -rf build src/repro.egg-info .pytest_cache
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,0 +1,77 @@
+"""Ablation: advertisement batching (control-traffic optimization).
+
+The paper's model sends one IHAVE per (message, destination); production
+descendants (NeEM buffering, gossipsub heartbeats) batch control
+traffic.  This ablation runs pure lazy push under a *high-rate* workload (batching
+only has material effect when several messages are in flight per window)
+with and without a batching window: packets and bytes drop
+substantially, at the price of the window's worth of extra delivery
+latency per lazy hop.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH, run_once
+from repro.experiments.figures import _cluster_config, build_model
+from repro.experiments.reporting import print_table
+from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.experiments.workload import TrafficConfig
+from repro.runtime.cluster import ClusterConfig
+from repro.scheduler.interfaces import SchedulerConfig
+from repro.strategies.flat import PureLazyStrategy
+
+WINDOWS = (0.0, 25.0, 100.0)
+
+#: ~40 messages/s aggregate: several messages per batching window.
+HIGH_RATE = TrafficConfig(messages=120, mean_interval_ms=25.0)
+
+
+def run_lazy_with_window(model, scale, window_ms, seed_offset):
+    base = _cluster_config(scale)
+    spec = ExperimentSpec(
+        strategy_factory=lambda ctx: PureLazyStrategy(),
+        cluster=ClusterConfig(
+            gossip=base.gossip,
+            scheduler=SchedulerConfig(ihave_batch_window_ms=window_ms),
+        ),
+        traffic=HIGH_RATE,
+        warmup_ms=scale.warmup_ms,
+        seed=scale.seed + 400 + seed_offset,
+    )
+    return run_experiment(model, spec)
+
+
+def test_ihave_batching_tradeoff(benchmark):
+    model = build_model(BENCH)
+
+    def sweep():
+        rows = []
+        for offset, window in enumerate(WINDOWS):
+            result = run_lazy_with_window(model, BENCH, window, offset)
+            recorder = result.recorder
+            rows.append(
+                {
+                    "window_ms": window,
+                    "ihave_packets": recorder.sent_packets.get("IHAVE", 0),
+                    "ihave_bytes": recorder.sent_bytes.get("IHAVE", 0),
+                    "latency_ms": result.summary.mean_latency_ms,
+                    "delivery_pct": result.summary.delivery_ratio * 100,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table("ablation: IHAVE batching window (pure lazy)", rows)
+    by_window = {row["window_ms"]: row for row in rows}
+    assert all(row["delivery_pct"] > 99.0 for row in rows)
+    # Batching cuts control packets and bytes materially.
+    assert by_window[100.0]["ihave_packets"] < 0.6 * by_window[0.0]["ihave_packets"]
+    assert by_window[100.0]["ihave_bytes"] < 0.8 * by_window[0.0]["ihave_bytes"]
+    # And costs latency, roughly the window per lazy hop.
+    assert by_window[100.0]["latency_ms"] > by_window[0.0]["latency_ms"] + 50.0
+    # The small window sits in between on both axes.
+    assert (
+        by_window[0.0]["ihave_packets"]
+        > by_window[25.0]["ihave_packets"]
+        > by_window[100.0]["ihave_packets"]
+    )

@@ -1,0 +1,109 @@
+"""Ablation: oracle vs measured environment knowledge (DESIGN.md decision 4).
+
+The paper drives strategies from the model file to isolate strategy
+quality from monitor quality (section 4.3) and argues the approach only
+needs *approximate* knowledge.  This ablation runs Radius with the
+runtime PING/PONG monitor and Ranked with the distributed gossip
+ranking, and checks both still produce the expected structure.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH, run_once
+from repro.experiments.figures import _cluster_config, build_model
+from repro.experiments.reporting import print_table
+from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.experiments.scenarios import (
+    DEFAULT_PARAMS,
+    radius_factory,
+    radius_measured_factory,
+    ranked_factory,
+    ranked_gossip_factory,
+)
+from repro.monitors.ranking import RankingConfig
+from repro.runtime.cluster import ClusterConfig
+
+
+def run_spec(model, scale, factory, cluster, seed_offset=0, warmup=None):
+    spec = ExperimentSpec(
+        strategy_factory=factory,
+        cluster=cluster,
+        traffic=scale.traffic(),
+        warmup_ms=warmup or scale.warmup_ms,
+        seed=scale.seed + 9000 + seed_offset,
+    )
+    return run_experiment(model, spec)
+
+
+def test_measured_monitors_match_oracle_structure(benchmark):
+    model = build_model(BENCH)
+    base = _cluster_config(BENCH)
+
+    def sweep():
+        rows = []
+        oracle_radius = run_spec(model, BENCH, radius_factory(DEFAULT_PARAMS), base, 0)
+        rows.append(_row("radius/oracle", oracle_radius))
+
+        measured_cluster = ClusterConfig(
+            gossip=base.gossip, enable_latency_monitor=True
+        )
+        measured_radius = run_spec(
+            model, BENCH, radius_measured_factory(DEFAULT_PARAMS),
+            measured_cluster, 1, warmup=12_000.0,
+        )
+        rows.append(_row("radius/measured", measured_radius))
+
+        oracle_ranked = run_spec(model, BENCH, ranked_factory(DEFAULT_PARAMS), base, 2)
+        rows.append(_row("ranked/oracle", oracle_ranked))
+
+        best_count = max(1, round(BENCH.clients * DEFAULT_PARAMS.ranked_fraction))
+        gossip_cluster = ClusterConfig(
+            gossip=base.gossip,
+            enable_latency_monitor=True,
+            enable_gossip_ranking=True,
+            ranking=RankingConfig(
+                best_count=best_count, list_capacity=best_count * 4
+            ),
+        )
+        gossip_ranked = run_spec(
+            model, BENCH, ranked_gossip_factory(), gossip_cluster, 3,
+            warmup=15_000.0,
+        )
+        rows.append(_row("ranked/gossip", gossip_ranked))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table("ablation: oracle vs measured monitors", rows)
+    by_series = {row["series"]: row for row in rows}
+
+    for row in rows:
+        assert row["delivery_pct"] > 99.0
+
+    # Measured monitors keep the emergent structure within a reasonable
+    # band of the oracle's (approximate knowledge suffices).
+    assert (
+        by_series["radius/measured"]["top5_share_pct"]
+        > 0.5 * by_series["radius/oracle"]["top5_share_pct"]
+    )
+    assert (
+        by_series["ranked/gossip"]["top5_share_pct"]
+        > 0.5 * by_series["ranked/oracle"]["top5_share_pct"]
+    )
+    # Traffic volume in the same regime.
+    assert (
+        abs(
+            by_series["radius/measured"]["payload_per_msg"]
+            - by_series["radius/oracle"]["payload_per_msg"]
+        )
+        < 1.5
+    )
+
+
+def _row(series, result):
+    return {
+        "series": series,
+        "payload_per_msg": result.summary.payload_per_delivery,
+        "latency_ms": result.summary.mean_latency_ms,
+        "top5_share_pct": result.summary.top_link_share * 100,
+        "delivery_pct": result.summary.delivery_ratio * 100,
+    }

@@ -1,0 +1,58 @@
+"""Ablation: the Radius request-timing discipline (DESIGN.md decision 1).
+
+Radius delays the first IWANT by ``T0`` so in-radius eager copies win
+the race.  Dropping that delay (T0 = 0) must buy latency at the price of
+extra payload transmissions -- duplicate fetches of payloads that were
+already on their way through the mesh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from benchmarks.conftest import BENCH, run_once
+from repro.experiments.figures import _cluster_config, build_model
+from repro.experiments.reporting import print_table
+from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.experiments.scenarios import DEFAULT_PARAMS, radius_factory
+
+
+def run_radius(model, scale, first_delay_ms, seed_offset=0):
+    params = replace(DEFAULT_PARAMS, radius_first_delay_ms=first_delay_ms)
+    spec = ExperimentSpec(
+        strategy_factory=radius_factory(params),
+        cluster=_cluster_config(scale),
+        traffic=scale.traffic(),
+        warmup_ms=scale.warmup_ms,
+        seed=scale.seed + 7000 + seed_offset,
+    )
+    return run_experiment(model, spec)
+
+
+def test_first_request_delay_tradeoff(benchmark):
+    model = build_model(BENCH)
+
+    def sweep():
+        rows = []
+        for offset, t0 in enumerate((0.0, 60.0, 150.0)):
+            result = run_radius(model, BENCH, t0, seed_offset=offset)
+            rows.append(
+                {
+                    "T0_ms": t0,
+                    "payload_per_msg": result.summary.payload_per_delivery,
+                    "latency_ms": result.summary.mean_latency_ms,
+                    "delivery_pct": result.summary.delivery_ratio * 100,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table("ablation: Radius first-request delay T0", rows)
+    by_t0 = {row["T0_ms"]: row for row in rows}
+    # All configurations stay reliable.
+    assert all(row["delivery_pct"] > 99.0 for row in rows)
+    # No delay -> more duplicate payload fetches than the delayed variants.
+    assert by_t0[0.0]["payload_per_msg"] >= by_t0[60.0]["payload_per_msg"]
+    assert by_t0[0.0]["payload_per_msg"] >= by_t0[150.0]["payload_per_msg"]
+    # And the delay costs latency, as expected.
+    assert by_t0[150.0]["latency_ms"] >= by_t0[0.0]["latency_ms"] * 0.95

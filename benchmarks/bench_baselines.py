@@ -1,0 +1,71 @@
+"""Gossip vs structured-tree vs pull: the paper's framing, quantified.
+
+Section 1 states the trade-off qualitatively: structured multicast uses
+resources better while the network is stable but must rebuild its tree
+on failure; gossip pays redundancy for resilience; the Payload Scheduler
+aims at both.  These benchmarks measure all three corners on the same
+fabric and workload.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH, run_once
+from repro.experiments.baselines import compare_baselines, compare_under_failures
+from repro.experiments.reporting import print_table
+
+
+def test_stable_network_comparison(benchmark):
+    rows = run_once(benchmark, compare_baselines, BENCH)
+    print_table("baselines: stable network", rows)
+    by_series = {row["series"]: row for row in rows}
+    tree = by_series["tree"]
+    eager = by_series["gossip eager"]
+    hybrid = by_series["gossip hybrid"]
+    pull = by_series["pull"]
+
+    # Everyone delivers everything on a stable network.
+    for row in rows:
+        assert row["delivery_pct"] > 99.0
+    # Structured multicast: exactly-once payload, best latency, least bytes.
+    assert tree["payload_per_msg"] <= 1.05
+    assert tree["latency_ms"] < eager["latency_ms"]
+    assert tree["total_MB"] < 0.5 * hybrid["total_MB"]
+    # Eager gossip pays ~fanout payloads for its speed.
+    assert eager["payload_per_msg"] > 9.0
+    # The hybrid sits between: a fraction of eager's traffic at
+    # competitive latency.
+    assert hybrid["payload_per_msg"] < 0.5 * eager["payload_per_msg"]
+    assert hybrid["latency_ms"] < 2.5 * eager["latency_ms"]
+    # Pull pays its period in latency despite unit payload cost -- the
+    # section 7 distinction from lazy push.
+    assert pull["payload_per_msg"] <= 1.2
+    assert pull["latency_ms"] > 3 * eager["latency_ms"]
+
+
+def test_targeted_failures_break_tree_not_gossip(benchmark):
+    def sweep():
+        return {
+            "no_repair": compare_under_failures(BENCH, failed_fraction=0.2),
+            "repaired": compare_under_failures(
+                BENCH, failed_fraction=0.2, repair_delay_ms=5_000.0
+            ),
+        }
+
+    results = run_once(benchmark, sweep)
+    print_table("baselines: 20% central nodes killed", results["no_repair"])
+    print_table("baselines: same, tree repaired after 5 s", results["repaired"])
+
+    no_repair = {row["series"]: row for row in results["no_repair"]}
+    repaired = {row["series"]: row for row in results["repaired"]}
+
+    # Gossip barely notices losing exactly its best/hub nodes.
+    assert no_repair["gossip eager"]["delivery_pct"] > 99.0
+    assert no_repair["gossip ranked"]["delivery_pct"] > 99.0
+    # The unrepaired tree loses whole subtrees.
+    assert no_repair["tree (no repair)"]["delivery_pct"] < 90.0
+    # Repair restores most deliveries -- at the cost of the rebuild
+    # machinery gossip never needs.
+    assert (
+        repaired["tree (repaired)"]["delivery_pct"]
+        > no_repair["tree (no repair)"]["delivery_pct"] + 5.0
+    )

@@ -1,0 +1,54 @@
+"""Figure 5(a): the latency/bandwidth trade-off.
+
+Paper: Flat traces 480 ms @ 1 payload/msg down to 227 ms @ 11 (the
+fanout); TTL reaches ~250 ms at only 1.7; Ranked improves latency over
+Flat at comparable traffic; Radius does not.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH, run_once
+from repro.experiments.figures import figure5a
+from repro.experiments.reporting import print_table
+
+
+def test_figure5a_latency_bandwidth_tradeoff(benchmark):
+    rows = run_once(benchmark, figure5a, BENCH)
+    print_table("figure 5(a): latency vs payload/msg", rows)
+    by_key = {(r["series"], r["param"]): r for r in rows}
+
+    lazy = by_key[("flat", "p=0.0")]
+    eager = by_key[("flat", "p=1.0")]
+    # Endpoint payloads: ~1 (lazy) and ~fanout (eager).
+    assert abs(lazy["payload_per_msg"] - 1.0) < 0.2
+    assert abs(eager["payload_per_msg"] - 11.0) < 1.0
+    # Lazy pays round trips: much slower than eager.
+    assert lazy["latency_ms"] > 1.8 * eager["latency_ms"]
+    # The flat curve is monotone: more payload, less latency.
+    flat_rows = [r for r in rows if r["series"] == "flat"]
+    by_payload = sorted(flat_rows, key=lambda r: r["payload_per_msg"])
+    latencies = [r["latency_ms"] for r in by_payload]
+    assert latencies == sorted(latencies, reverse=True)
+
+    # TTL dominates the flat curve: at similar payload, lower latency.
+    ttl_best = min(
+        (r for r in rows if r["series"] == "TTL"),
+        key=lambda r: r["latency_ms"] * r["payload_per_msg"],
+    )
+    flat_same_cost = min(
+        flat_rows, key=lambda r: abs(r["payload_per_msg"] - ttl_best["payload_per_msg"])
+    )
+    assert ttl_best["latency_ms"] <= flat_same_cost["latency_ms"] * 1.05
+
+    # Ranked improves on Flat at comparable traffic; Radius does not
+    # beat the flat curve (the paper's negative result).
+    ranked = by_key[("ranked (all)", "")]
+    flat_near_ranked = min(
+        flat_rows, key=lambda r: abs(r["payload_per_msg"] - ranked["payload_per_msg"])
+    )
+    assert ranked["latency_ms"] < flat_near_ranked["latency_ms"] * 1.15
+    radius = next(r for r in rows if r["series"] == "radius")
+    flat_near_radius = min(
+        flat_rows, key=lambda r: abs(r["payload_per_msg"] - radius["payload_per_msg"])
+    )
+    assert radius["latency_ms"] > flat_near_radius["latency_ms"] * 0.9

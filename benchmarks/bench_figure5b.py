@@ -1,0 +1,33 @@
+"""Figure 5(b): reliability under node failures.
+
+Paper: atomic delivery with no failures; graceful degradation past 20%
+dead; breakdown only beyond ~80%; crucially, the Ranked structure adds
+no fragility -- even when the best nodes themselves are killed.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH, run_once
+from repro.experiments.figures import figure5b
+from repro.experiments.reporting import print_table
+
+FRACTIONS = [0.0, 0.2, 0.4, 0.6, 0.8]
+
+
+def test_figure5b_reliability(benchmark):
+    rows = run_once(benchmark, figure5b, BENCH, dead_fractions=FRACTIONS)
+    print_table("figure 5(b): deliveries vs dead nodes", rows)
+    by_key = {(r["series"], r["dead_pct"]): r["deliveries_pct"] for r in rows}
+
+    for series in ("flat/random", "ranked/random", "ranked/ranked"):
+        # Perfect atomic delivery with no failures.
+        assert by_key[(series, 0.0)] > 99.0
+        # Moderate failures: still near-atomic.
+        assert by_key[(series, 20.0)] > 95.0
+        # Degradation is graceful up to 60%.
+        assert by_key[(series, 60.0)] > 60.0
+
+    # Killing the top-ranked nodes is no worse than killing at random
+    # (within noise): structure does not create fragility.
+    for dead in (20.0, 40.0, 60.0):
+        assert by_key[("ranked/ranked", dead)] >= by_key[("ranked/random", dead)] - 12.0

@@ -1,0 +1,41 @@
+"""Figure 6: degradation of structure under noise.
+
+Paper: the noise wrapper preserves traffic volume (6a) while latency
+degrades gracefully toward the Flat equivalent (6b) and the top-5%
+connection share converges to the unstructured 5% (6c).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH, run_once
+from repro.experiments.figures import figure6
+from repro.experiments.reporting import print_table
+
+NOISE = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+
+def test_figure6_noise_degradation(benchmark):
+    rows = run_once(benchmark, figure6, BENCH, noise_levels=NOISE)
+    print_table("figure 6: noise sweep", rows)
+
+    for series in ("radius", "ranked"):
+        points = {r["noise_pct"]: r for r in rows if r["series"] == series}
+
+        # (a) payload volume approximately preserved across the sweep.
+        base = points[0.0]["payload_per_msg"]
+        for noise in NOISE:
+            assert abs(points[noise * 100]["payload_per_msg"] - base) < 0.35 * base + 0.3
+
+        # (a) regular-node payload converges toward the overall average.
+        gap_start = abs(points[0.0]["payload_low"] - points[0.0]["payload_per_msg"])
+        gap_end = abs(points[100.0]["payload_low"] - points[100.0]["payload_per_msg"])
+        assert gap_end < gap_start
+
+        # (c) structure blurs monotonically-ish: full noise well below
+        # the noiseless concentration.
+        assert points[100.0]["top5_share_pct"] < 0.75 * points[0.0]["top5_share_pct"]
+
+    # (b) ranked latency degrades but does not collapse (graceful).
+    ranked = {r["noise_pct"]: r for r in rows if r["series"] == "ranked"}
+    assert ranked[100.0]["latency_ms"] >= ranked[0.0]["latency_ms"] * 0.95
+    assert ranked[100.0]["latency_ms"] < ranked[0.0]["latency_ms"] * 3.0

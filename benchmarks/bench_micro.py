@@ -1,0 +1,79 @@
+"""Microbenchmarks of the substrate hot paths.
+
+These track the cost of the pieces every experiment leans on: the event
+queue, the network fabric data path, and shortest-path routing.
+"""
+
+from __future__ import annotations
+
+from repro.network.fabric import FabricConfig, NetworkFabric
+from repro.network.message import Packet
+from repro.sim.engine import Simulator
+from repro.sim.events import EventQueue
+from repro.topology.inet import InetParameters, generate_inet
+from repro.topology.routing import shortest_paths
+from repro.topology.simple import complete_topology
+
+
+def test_event_queue_throughput(benchmark):
+    def churn():
+        queue = EventQueue()
+        for i in range(10_000):
+            queue.push(float(i % 97), lambda: None)
+        drained = 0
+        while queue.pop() is not None:
+            drained += 1
+        return drained
+
+    assert benchmark(churn) == 10_000
+
+
+def test_simulator_event_dispatch(benchmark):
+    def run():
+        sim = Simulator(seed=1)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 5_000
+
+
+def test_fabric_send_path(benchmark):
+    sim = Simulator(seed=1)
+    model = complete_topology(50, latency_ms=10.0)
+    fabric = NetworkFabric(sim, model, FabricConfig())
+    for node in range(50):
+        fabric.register(node, lambda p: None)
+
+    def blast():
+        for i in range(2_000):
+            fabric.send(
+                Packet(src=i % 50, dst=(i + 1) % 50, kind="MSG",
+                       payload=None, size_bytes=320)
+            )
+        sim.run()
+        return True
+
+    assert benchmark(blast)
+
+
+def test_routing_single_source(benchmark):
+    topo = generate_inet(
+        InetParameters(router_count=1000, client_count=50, transit_count=32,
+                       transit_extra_degree=10),
+        seed=1,
+    )
+    source = topo.client_ids[0]
+
+    def route():
+        hops, latency = shortest_paths(topo.graph, source)
+        return hops[topo.client_ids[-1]]
+
+    assert benchmark(route) > 0

@@ -1,0 +1,26 @@
+"""Section 5.4: per-run traffic statistics of an eager configuration.
+
+Paper (100 nodes, 400 messages, eager push): 40000 deliveries and
+~440000 payload packets per run.  At BENCH scale the same accounting
+identities must hold: deliveries = messages x nodes, payload packets =
+deliveries x fanout.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH, run_once
+from repro.experiments.figures import section54_statistics
+from repro.experiments.reporting import print_table
+
+
+def test_section54_run_statistics(benchmark):
+    rows = run_once(benchmark, section54_statistics, BENCH)
+    print_table("section 5.4: eager-run statistics", rows)
+    values = {row["statistic"]: row["value"] for row in rows}
+    messages = values["messages multicast"]
+    deliveries = values["messages delivered"]
+    payloads = values["payload packets transmitted"]
+    assert messages == BENCH.messages
+    assert deliveries >= 0.98 * messages * BENCH.clients
+    assert abs(payloads - deliveries * 11) < 0.1 * payloads
+    assert values["distinct connections used"] > BENCH.clients

@@ -1,0 +1,46 @@
+"""Section 5.1: regenerate the network-model statistics table.
+
+Paper: 3037 Inet routers; client pairs average 5.54 hops (74.28% within
+5-6) and 49.83 ms (50% within 39-60 ms).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import FULL, section51_table
+from repro.experiments.reporting import print_table
+from repro.topology.inet import InetParameters, generate_inet
+from repro.topology.routing import ClientNetworkModel
+from repro.topology.stats import compute_statistics
+
+
+def test_section51_statistics_table(benchmark):
+    """Full paper-scale topology: generate, route, compare to the table."""
+
+    def build():
+        topo = generate_inet(InetParameters(), seed=1)
+        model = ClientNetworkModel.from_inet(topo)
+        return compute_statistics(model)
+
+    stats = run_once(benchmark, build)
+    rows = [
+        {"statistic": "mean hop distance", "paper": 5.54,
+         "measured": stats.mean_hop_distance},
+        {"statistic": "pairs within 5-6 hops (%)", "paper": 74.28,
+         "measured": stats.share_hops_5_to_6 * 100},
+        {"statistic": "mean end-to-end latency (ms)", "paper": 49.83,
+         "measured": stats.mean_latency_ms},
+        {"statistic": "pairs within 39-60 ms (%)", "paper": 50.0,
+         "measured": stats.share_latency_39_to_60 * 100},
+    ]
+    print_table("section 5.1 network model", rows)
+    assert abs(stats.mean_latency_ms - 49.83) < 0.01
+    assert 5.0 <= stats.mean_hop_distance <= 6.1
+    assert stats.share_hops_5_to_6 >= 0.65
+    assert 0.35 <= stats.share_latency_39_to_60 <= 0.65
+
+
+def test_topology_generation_throughput(benchmark):
+    """Microbenchmark: full 3037-router generation time."""
+    result = benchmark(lambda: generate_inet(InetParameters(), seed=2))
+    assert result.graph.is_connected()

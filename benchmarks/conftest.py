@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at BENCH
+scale (reduced population and message count so a full benchmark pass
+stays in CI time) and asserts the reproduced *shape*.  Paper-scale runs
+are produced by ``examples/run_full_evaluation.py`` and recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import Scale
+
+#: Benchmark sizing: big enough for stable shapes, small enough for CI.
+BENCH = Scale("bench", clients=30, routers=300, messages=40, warmup_ms=5_000.0, seed=3)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> Scale:
+    return BENCH
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment-grade callable exactly once under timing.
+
+    Experiment runs are deterministic and expensive; repeating them adds
+    no statistical information, so rounds=iterations=1.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Gossip vs structured tree vs pull (the paper's introduction, measured).
+
+Runs the three families over the same network and workload:
+
+- epidemic multicast (eager / TTL / hybrid payload scheduling),
+- an explicit degree-bounded shortest-path tree (structured multicast),
+- periodic anti-entropy pull gossip,
+
+first on a stable network, then with the 20% most central nodes killed —
+which are simultaneously the tree's interior nodes and Ranked's hubs.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.baselines import compare_baselines, compare_under_failures
+from repro.experiments.figures import Scale
+from repro.experiments.reporting import print_table
+
+SCALE = Scale("example", clients=40, routers=400, messages=50,
+              warmup_ms=5_000.0, seed=21)
+
+
+def main() -> None:
+    print_table("stable network", compare_baselines(SCALE))
+    print(
+        "\nThe tree is optimal while nothing fails: one payload per\n"
+        "delivery, shortest-path latency.  Pull also pays ~1 payload but\n"
+        "waits out its polling period.  Gossip pays redundancy; the\n"
+        "hybrid scheduler recovers most of it."
+    )
+    print_table(
+        "20% most central nodes killed (tree interior = gossip hubs)",
+        compare_under_failures(SCALE, failed_fraction=0.2),
+    )
+    print_table(
+        "same failure, tree repaired after 5 s",
+        compare_under_failures(SCALE, failed_fraction=0.2, repair_delay_ms=5_000.0),
+    )
+    print(
+        "\nKilling the central nodes removes whole subtrees until the tree\n"
+        "is rebuilt; the same failure costs gossip nothing but latency --\n"
+        "the resilience the Payload Scheduler preserves by construction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Emergent structure (paper Fig. 4): where does the payload flow?
+
+Runs eager push, Radius (pseudo-geographic oracle) and Ranked over the
+same group, then shows (a) the share of payload carried by the top-5%
+connections, and (b) an ASCII histogram of per-node payload
+contributions -- flat for eager, hub-dominated for Ranked.
+
+Run:  python examples/emergent_structure.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import Scale, build_model, figure4
+from repro.experiments.reporting import print_table
+from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.experiments.scenarios import flat_factory, ranked_factory
+from repro.gossip.config import GossipConfig
+from repro.metrics.structure import node_concentration
+from repro.runtime.cluster import ClusterConfig
+
+SCALE = Scale("example", clients=50, routers=500, messages=80,
+              warmup_ms=6_000.0, seed=9)
+
+
+def node_histogram(counts, size, buckets=50) -> str:
+    """One character column per node, height-coded payload contribution."""
+    marks = " .:-=+*#%@"
+    values = [counts.get(node, 0) for node in range(size)]
+    top = max(values) or 1
+    return "".join(marks[min(9, int(9 * v / top))] for v in values)
+
+
+def run(label, factory):
+    spec = ExperimentSpec(
+        strategy_factory=factory,
+        cluster=ClusterConfig(gossip=GossipConfig.for_population(SCALE.clients)),
+        traffic=SCALE.traffic(),
+        warmup_ms=SCALE.warmup_ms,
+        seed=17,
+    )
+    result = run_experiment(build_model(SCALE), spec)
+    return result
+
+
+def main() -> None:
+    print("figure 4 series (top-5% connection share):")
+    rows = figure4(SCALE)
+    print_table("figure 4", rows)
+
+    print("\nper-node payload contribution (one column per node):")
+    for label, factory in (
+        ("eager ", flat_factory(1.0)),
+        ("ranked", ranked_factory()),
+    ):
+        result = run(label, factory)
+        counts = result.recorder.node_payload_sent
+        histogram = node_histogram(counts, SCALE.clients)
+        hubshare = node_concentration(counts, 0.1) * 100
+        print(f"  {label} |{histogram}|  top-10% nodes carry {hubshare:.0f}%")
+
+    print(
+        "\nUnder Ranked, a handful of hub columns dominate: the paper's\n"
+        "hubs-and-spokes structure, emerging with no tree construction."
+    )
+
+    # Export the Fig. 4 artifact: positions + node loads + top-5% links.
+    from repro.metrics.export import save_structure_json, structure_to_dot
+
+    result = run("ranked", ranked_factory())
+    model = build_model(SCALE)
+    save_structure_json(result.recorder, model, "figure4_ranked.json")
+    with open("figure4_ranked.dot", "w", encoding="utf-8") as handle:
+        handle.write(structure_to_dot(result.recorder, model))
+    print(
+        "\nwrote figure4_ranked.json and figure4_ranked.dot "
+        "(render: neato -n2 -Tsvg figure4_ranked.dot -o figure4.svg)"
+    )
+
+
+if __name__ == "__main__":
+    main()

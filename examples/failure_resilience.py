@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Reliability under failures (paper Fig. 5b).
+
+Silences a growing share of nodes right before measurement -- including,
+adversarially, exactly the best-ranked hubs -- and shows delivery stays
+near-atomic until most of the group is dead.
+
+Run:  python examples/failure_resilience.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import Scale, figure5b
+from repro.experiments.reporting import print_table
+
+SCALE = Scale("example", clients=40, routers=400, messages=50,
+              warmup_ms=5_000.0, seed=5)
+
+
+def main() -> None:
+    fractions = [0.0, 0.2, 0.4, 0.6, 0.8]
+    rows = figure5b(SCALE, dead_fractions=fractions)
+    print_table("figure 5(b): mean deliveries vs dead nodes", rows)
+
+    series = sorted({row["series"] for row in rows})
+    print("\ndeliveries (%) by dead share:")
+    for name in series:
+        points = {
+            row["dead_pct"]: row["deliveries_pct"]
+            for row in rows
+            if row["series"] == name
+        }
+        line = "  ".join(f"{points[f * 100]:5.1f}" for f in fractions)
+        print(f"  {name:>15}: {line}")
+
+    print(
+        "\nKilling the best-ranked nodes (ranked/ranked) -- the ones doing\n"
+        "most of the payload work -- harms reliability no more than random\n"
+        "failures: the lazy advertisements keep every path available."
+    )
+
+
+if __name__ == "__main__":
+    main()

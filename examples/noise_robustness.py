@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Robustness to inaccurate knowledge (paper Fig. 6, section 4.3).
+
+Wraps the Radius and Ranked strategies in calibrated noise and sweeps
+the noise ratio from 0 (perfect knowledge) to 1 (random): payload volume
+stays flat, structure blurs away, latency degrades gracefully toward the
+Flat equivalent.
+
+Run:  python examples/noise_robustness.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import Scale, figure6
+from repro.experiments.reporting import print_table
+
+SCALE = Scale("example", clients=40, routers=400, messages=60,
+              warmup_ms=5_000.0, seed=13)
+
+
+def main() -> None:
+    levels = [0.0, 0.25, 0.5, 0.75, 1.0]
+    rows = figure6(SCALE, noise_levels=levels)
+    print_table("figure 6: noise sweep (panels a, b, c in one table)", rows)
+
+    for series in ("radius", "ranked"):
+        points = {r["noise_pct"]: r for r in rows if r["series"] == series}
+        start, end = points[0.0], points[100.0]
+        print(
+            f"\n{series}: payload {start['payload_per_msg']:.2f} -> "
+            f"{end['payload_per_msg']:.2f} (preserved), "
+            f"top-5% share {start['top5_share_pct']:.0f}% -> "
+            f"{end['top5_share_pct']:.0f}% (structure erased), "
+            f"latency {start['latency_ms']:.0f} -> {end['latency_ms']:.0f} ms"
+        )
+    print(
+        "\nWorst case (pure noise) is bounded by the Flat strategy with the\n"
+        "same eager rate -- bad knowledge can blunt the optimization but\n"
+        "never break the protocol."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: epidemic multicast with an emergent-structure scheduler.
+
+Builds a 50-node group over an Internet-like topology, runs the same
+traffic under three payload-scheduling strategies -- pure eager push,
+pure lazy push, and the TTL mix -- and prints the latency/bandwidth
+trade-off the paper is about.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import print_table
+from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.experiments.scenarios import flat_factory, ttl_factory
+from repro.experiments.workload import TrafficConfig
+from repro.gossip.config import GossipConfig
+from repro.runtime.cluster import ClusterConfig
+from repro.topology.inet import InetParameters, generate_inet
+from repro.topology.routing import ClientNetworkModel
+
+
+def main() -> None:
+    # 1. An Internet-like topology: 500 routers, 50 client nodes on
+    #    distinct stub routers (a scaled-down section 5.1 model).
+    print("generating topology...")
+    topology = generate_inet(
+        InetParameters(router_count=500, client_count=50), seed=7
+    )
+    model = ClientNetworkModel.from_inet(topology)
+    print(
+        f"  {topology.graph.router_count} routers, {model.size} clients, "
+        f"mean client latency {model.mean_latency():.1f} ms"
+    )
+
+    # 2. The same gossip protocol (fanout 11) under three strategies.
+    scenarios = [
+        ("eager push", flat_factory(1.0)),
+        ("lazy push", flat_factory(0.0)),
+        ("TTL (u=2)", ttl_factory(2)),
+    ]
+    rows = []
+    for label, factory in scenarios:
+        spec = ExperimentSpec(
+            strategy_factory=factory,
+            cluster=ClusterConfig(gossip=GossipConfig.for_population(model.size)),
+            traffic=TrafficConfig(messages=80, mean_interval_ms=200.0),
+            warmup_ms=6_000.0,
+            seed=42,
+        )
+        result = run_experiment(model, spec)
+        summary = result.summary
+        rows.append(
+            {
+                "strategy": label,
+                "latency_ms": summary.mean_latency_ms,
+                "payload_per_msg": summary.payload_per_delivery,
+                "delivery_pct": summary.delivery_ratio * 100,
+                "total_MB": summary.total_bytes / 1e6,
+            }
+        )
+        print(f"  ran {label}")
+
+    print_table("latency/bandwidth trade-off (paper Fig. 5a endpoints)", rows)
+    print(
+        "\nEager push is fast but pays ~fanout payloads per delivery;\n"
+        "lazy push pays ~1 but adds a round trip per hop; TTL mixes both.\n"
+        "Next: examples/emergent_structure.py shows how environment-aware\n"
+        "scheduling makes structure emerge."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Application layers over the epidemic multicast stack.
+
+The paper's protocol delivers opaque payloads; real deployments put
+structure on top.  Two representative applications are provided, both
+driving the public :class:`~repro.runtime.cluster.Cluster` API the way
+any downstream user would:
+
+- :mod:`repro.app.pubsub` -- topic-based publish/subscribe: every node
+  receives every message (that is what a multicast group is), and the
+  pub/sub layer filters by topic locally, tracks per-topic ordering
+  gaps, and exposes subscription management.
+- :mod:`repro.app.filecast` -- CREW-style dissemination of a large
+  object split into chunks (section 7 cites CREW's flash dissemination
+  as the lazy-gossip bulk-transfer use case): the sender multicasts
+  chunk descriptors, receivers reassemble and report completion.
+"""
+
+from repro.app.filecast import FileCast, FileCastStatus
+from repro.app.pubsub import PubSub, TopicMessage
+
+__all__ = ["PubSub", "TopicMessage", "FileCast", "FileCastStatus"]

@@ -1,0 +1,123 @@
+"""Topic-based publish/subscribe over epidemic multicast.
+
+Gossip delivers every message to every node; pub/sub semantics are a
+local concern: filter deliveries by topic, hand them to subscribers, and
+track what a subscriber may have missed.  Messages carry a per-(node,
+topic) sequence number, so receivers can detect gaps -- the epidemic
+guarantee is "all messages with high probability", and the gap counter
+measures exactly the "with high probability" part for the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, DefaultDict, Dict, List, Tuple
+from collections import defaultdict
+
+from repro.runtime.cluster import Cluster
+
+#: Subscriber callback: (message) -> None
+SubscriberFn = Callable[["TopicMessage"], None]
+
+
+@dataclass(frozen=True)
+class TopicMessage:
+    """A published payload as seen by subscribers."""
+
+    topic: str
+    data: Any
+    publisher: int
+    sequence: int
+    delivered_at: float
+
+
+class PubSub:
+    """One pub/sub fabric over a cluster.
+
+    A single instance manages all nodes of the cluster (the simulation
+    is single-process); per-node state is keyed by node id, so the
+    behaviour is exactly what n independent instances would produce.
+    """
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._subscribers: DefaultDict[Tuple[int, str], List[SubscriberFn]] = (
+            defaultdict(list)
+        )
+        # Publisher-side sequence counters: (publisher, topic) -> next seq.
+        self._next_sequence: DefaultDict[Tuple[int, str], int] = defaultdict(int)
+        # Receiver-side gap tracking: (node, publisher, topic) -> highest
+        # sequence seen, plus the set of sequences still outstanding
+        # below it (gossip is unordered, so late arrivals fill gaps).
+        self._high_water: Dict[Tuple[int, int, str], int] = {}
+        self._missing: DefaultDict[Tuple[int, int, str], set] = defaultdict(set)
+        self.delivered_count = 0
+        cluster.set_deliver(self._on_deliver)
+
+    # -- subscriber interface ------------------------------------------------
+
+    def subscribe(self, node: int, topic: str, callback: SubscriberFn) -> None:
+        """Register ``callback`` for ``topic`` deliveries at ``node``."""
+        self._subscribers[(node, topic)].append(callback)
+
+    def unsubscribe(self, node: int, topic: str, callback: SubscriberFn) -> bool:
+        """Remove a subscription; True when something was removed."""
+        callbacks = self._subscribers.get((node, topic), [])
+        if callback in callbacks:
+            callbacks.remove(callback)
+            return True
+        return False
+
+    # -- publisher interface ---------------------------------------------------
+
+    def publish(self, node: int, topic: str, data: Any) -> int:
+        """Publish ``data`` on ``topic`` from ``node``.
+
+        Returns the message's per-(publisher, topic) sequence number.
+        """
+        key = (node, topic)
+        sequence = self._next_sequence[key]
+        self._next_sequence[key] = sequence + 1
+        self.cluster.multicast(node, ("pubsub", topic, node, sequence, data))
+        return sequence
+
+    # -- internals ------------------------------------------------------------
+
+    def _on_deliver(self, node: int, message_id: int, payload: Any) -> None:
+        if not (isinstance(payload, tuple) and payload and payload[0] == "pubsub"):
+            return
+        _, topic, publisher, sequence, data = payload
+        self._track_gaps(node, publisher, topic, sequence)
+        message = TopicMessage(
+            topic=topic,
+            data=data,
+            publisher=publisher,
+            sequence=sequence,
+            delivered_at=self.cluster.sim.now,
+        )
+        for callback in self._subscribers.get((node, topic), []):
+            self.delivered_count += 1
+            callback(message)
+
+    def missing_count(self, node: int) -> int:
+        """Sequences currently unaccounted for at ``node`` (across all
+        publisher/topic streams).  Transient reordering self-heals as
+        late messages arrive; a lasting positive count means real loss."""
+        return sum(
+            len(missing)
+            for (n, _, _), missing in self._missing.items()
+            if n == node
+        )
+
+    def _track_gaps(self, node: int, publisher: int, topic: str, sequence: int) -> None:
+        key = (node, publisher, topic)
+        highest = self._high_water.get(key)
+        if highest is None:
+            # Joining mid-stream is not a gap; count from here.
+            self._high_water[key] = sequence
+            return
+        if sequence > highest + 1:
+            self._missing[key].update(range(highest + 1, sequence))
+        elif sequence <= highest:
+            self._missing[key].discard(sequence)
+        self._high_water[key] = max(highest, sequence)

@@ -1,0 +1,27 @@
+"""Structured and pull-based multicast baselines.
+
+The paper's argument is comparative: epidemic multicast trades the
+efficiency of *structured* multicast (sections 1, 7) for simplicity and
+resilience, and the Payload Scheduler recovers most of the efficiency
+without giving up either.  To make that comparison concrete, this
+package implements the comparators:
+
+- :mod:`repro.baselines.tree` -- explicit shortest-path spanning-tree
+  multicast over the same fabric: exactly-once payload delivery and
+  near-optimal latency while the network is stable, but a broken tree
+  loses whole subtrees until it is rebuilt.
+- :mod:`repro.baselines.pull` -- periodic anti-entropy pull gossip,
+  which section 7 is careful to distinguish from lazy push: pull issues
+  *generic* digests to random peers instead of requesting specific
+  advertised ids, paying digest overhead and pull-period latency.
+"""
+
+from repro.baselines.pull import PullConfig, PullGossipSystem
+from repro.baselines.tree import TreeConfig, TreeMulticastSystem
+
+__all__ = [
+    "TreeMulticastSystem",
+    "TreeConfig",
+    "PullGossipSystem",
+    "PullConfig",
+]

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the evaluation workflow without writing a script:
+
+- ``topology`` -- generate an Inet-like model and print the section 5.1
+  statistics table.
+- ``run`` -- run one experiment (strategy, scale, seed) and print its
+  summary row.
+- ``figure`` -- regenerate one of the paper's figures/tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.figures import (
+    FULL,
+    QUICK,
+    Scale,
+    build_model,
+    figure4,
+    figure5a,
+    figure5b,
+    figure5c,
+    figure6,
+    section51_table,
+    section54_statistics,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.experiments.scenarios import (
+    flat_factory,
+    hybrid_factory,
+    radius_factory,
+    ranked_factory,
+    ttl_factory,
+)
+from repro.gossip.config import GossipConfig
+from repro.runtime.cluster import ClusterConfig
+from repro.topology.inet import InetParameters, generate_inet
+from repro.topology.routing import ClientNetworkModel
+from repro.topology.stats import compute_statistics
+
+FIGURES = {
+    "5.1": section51_table,
+    "4": figure4,
+    "5a": figure5a,
+    "5b": figure5b,
+    "5c": figure5c,
+    "6": figure6,
+    "5.4": section54_statistics,
+}
+
+STRATEGIES = {
+    "eager": lambda args: flat_factory(1.0),
+    "lazy": lambda args: flat_factory(0.0),
+    "flat": lambda args: flat_factory(args.probability),
+    "ttl": lambda args: ttl_factory(args.rounds),
+    "radius": lambda args: radius_factory(),
+    "ranked": lambda args: ranked_factory(),
+    "hybrid": lambda args: hybrid_factory(),
+}
+
+
+def _scale(args: argparse.Namespace) -> Scale:
+    base = FULL if args.scale == "full" else QUICK
+    return Scale(
+        name=base.name,
+        clients=args.clients or base.clients,
+        routers=args.routers or base.routers,
+        messages=args.messages or base.messages,
+        warmup_ms=base.warmup_ms,
+        seed=args.seed if args.seed is not None else base.seed,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for shell-completion tools)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Emergent Structure in Unstructured Epidemic Multicast "
+        "(DSN 2007) -- reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    topo = sub.add_parser("topology", help="generate a model, print §5.1 stats")
+    topo.add_argument("--routers", type=int, default=3037)
+    topo.add_argument("--clients", type=int, default=100)
+    topo.add_argument("--seed", type=int, default=1)
+    topo.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="also write the client model file (JSON) to PATH",
+    )
+
+    run = sub.add_parser("run", help="run one experiment and print its summary")
+    run.add_argument("strategy", choices=sorted(STRATEGIES))
+    run.add_argument("--probability", type=float, default=0.5,
+                     help="eager probability for the flat strategy")
+    run.add_argument("--rounds", type=int, default=3,
+                     help="eager rounds for the TTL strategy")
+    _add_scale_arguments(run)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure/table")
+    fig.add_argument("figure", choices=sorted(FIGURES))
+    _add_scale_arguments(fig)
+    return parser
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=["quick", "full"], default="quick")
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument("--routers", type=int, default=None)
+    parser.add_argument("--messages", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+
+
+def command_topology(args: argparse.Namespace) -> int:
+    """``repro topology``: generate a model, print its statistics."""
+    topology = generate_inet(
+        InetParameters(router_count=args.routers, client_count=args.clients),
+        seed=args.seed,
+    )
+    model = ClientNetworkModel.from_inet(topology)
+    stats = compute_statistics(model)
+    rows = [{"statistic": label, "value": value} for label, value in stats.as_rows()]
+    print(format_table(rows))
+    if args.save:
+        from repro.topology.export import save_model
+
+        provenance = (
+            f"generate_inet(routers={args.routers}, clients={args.clients}, "
+            f"seed={args.seed})"
+        )
+        save_model(model, args.save, provenance=provenance)
+        print(f"model written to {args.save}")
+    return 0
+
+
+def command_run(args: argparse.Namespace) -> int:
+    """``repro run``: one experiment, one summary row."""
+    scale = _scale(args)
+    model = build_model(scale)
+    spec = ExperimentSpec(
+        strategy_factory=STRATEGIES[args.strategy](args),
+        cluster=ClusterConfig(gossip=GossipConfig.for_population(scale.clients)),
+        traffic=scale.traffic(),
+        warmup_ms=scale.warmup_ms,
+        seed=scale.seed,
+    )
+    result = run_experiment(model, spec)
+    row = dict(strategy=args.strategy, **result.summary.row())
+    print(format_table([row]))
+    return 0
+
+
+def command_figure(args: argparse.Namespace) -> int:
+    """``repro figure``: regenerate a paper figure/table."""
+    rows = FIGURES[args.figure](_scale(args))
+    print(format_table(rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "topology": command_topology,
+        "run": command_run,
+        "figure": command_figure,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    sys.exit(main())

@@ -1,0 +1,411 @@
+"""One function per table/figure of the paper's evaluation.
+
+Each function returns a list of row dicts (the series the paper plots)
+and can run at two scales:
+
+- ``QUICK`` -- small population/message count for benchmarks and CI;
+  shapes (who wins, direction of trends) hold, absolute numbers wobble.
+- ``FULL`` -- the paper's scale: 3037-router Inet model, 100 clients,
+  400 messages of 256 B.  Used to produce EXPERIMENTS.md.
+
+The mapping to the paper (see DESIGN.md section 4):
+
+- :func:`section51_table` -- the network-model statistics table.
+- :func:`figure4` -- emergent structure: top-5% connection traffic share.
+- :func:`figure5a` -- latency/bandwidth trade-off sweeps.
+- :func:`figure5b` -- reliability under node failures.
+- :func:`figure5c` -- the hybrid ("combined") strategy.
+- :func:`figure6` -- structure degradation under noise (a: payload,
+  b: latency, c: top-5% share -- one sweep feeds all three panels).
+- :func:`section54_statistics` -- per-run traffic accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.experiments.scenarios import (
+    DEFAULT_PARAMS,
+    ScenarioParams,
+    best_low_classes,
+    flat_factory,
+    hybrid_factory,
+    noisy_factory,
+    radius_calibration,
+    radius_factory,
+    ranked_calibration,
+    ranked_factory,
+    ttl_factory,
+)
+from repro.experiments.workload import TrafficConfig
+from repro.failures.injection import FailurePlan
+from repro.gossip.config import GossipConfig
+from repro.runtime.cluster import ClusterConfig
+from repro.runtime.node import StrategyFactory
+from repro.topology.inet import InetParameters, generate_inet
+from repro.topology.routing import ClientNetworkModel
+from repro.topology.stats import compute_statistics
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment sizing profile."""
+
+    name: str
+    clients: int
+    routers: int
+    messages: int
+    warmup_ms: float
+    seed: int = 1
+
+    def traffic(self) -> TrafficConfig:
+        return TrafficConfig(messages=self.messages)
+
+
+QUICK = Scale("quick", clients=40, routers=400, messages=60, warmup_ms=6_000.0)
+FULL = Scale("full", clients=100, routers=3037, messages=400, warmup_ms=10_000.0)
+
+_model_cache: Dict[tuple, ClientNetworkModel] = {}
+
+
+def build_model(scale: Scale) -> ClientNetworkModel:
+    """The Inet-derived client network model for a scale (cached)."""
+    key = (scale.clients, scale.routers, scale.seed)
+    model = _model_cache.get(key)
+    if model is None:
+        topology = generate_inet(
+            InetParameters(router_count=scale.routers, client_count=scale.clients),
+            seed=scale.seed,
+        )
+        model = ClientNetworkModel.from_inet(topology)
+        _model_cache[key] = model
+    return model
+
+
+def _cluster_config(scale: Scale) -> ClusterConfig:
+    return ClusterConfig(
+        gossip=GossipConfig.for_population(scale.clients)
+    )
+
+
+def _run(
+    scale: Scale,
+    factory: StrategyFactory,
+    failure: Optional[FailurePlan] = None,
+    node_classes: Optional[Callable] = None,
+    cluster: Optional[ClusterConfig] = None,
+    seed_offset: int = 0,
+):
+    model = build_model(scale)
+    spec = ExperimentSpec(
+        strategy_factory=factory,
+        cluster=cluster or _cluster_config(scale),
+        traffic=scale.traffic(),
+        warmup_ms=scale.warmup_ms,
+        seed=scale.seed + 1000 + seed_offset,
+        failure=failure,
+        node_classes=node_classes,
+    )
+    return run_experiment(model, spec)
+
+
+# -- section 5.1: the network model table -----------------------------------------
+
+
+def section51_table(scale: Scale = QUICK) -> List[Dict]:
+    """Topology statistics vs the values the paper reports."""
+    stats = compute_statistics(build_model(scale))
+    paper = {
+        "mean hop distance": 5.54,
+        "pairs within 5-6 hops (%)": 74.28,
+        "mean end-to-end latency (ms)": 49.83,
+        "pairs within 39-60 ms (%)": 50.0,
+    }
+    measured = {
+        "mean hop distance": stats.mean_hop_distance,
+        "pairs within 5-6 hops (%)": stats.share_hops_5_to_6 * 100.0,
+        "mean end-to-end latency (ms)": stats.mean_latency_ms,
+        "pairs within 39-60 ms (%)": stats.share_latency_39_to_60 * 100.0,
+    }
+    return [
+        {"statistic": label, "paper": paper[label], "measured": measured[label]}
+        for label in paper
+    ]
+
+
+# -- figure 4: emergent structure ----------------------------------------------
+
+
+def figure4(
+    scale: Scale = QUICK, params: ScenarioParams = DEFAULT_PARAMS
+) -> List[Dict]:
+    """Traffic concentration on the top-5% connections.
+
+    The paper plots the structures geographically and reports the top-5%
+    share in the caption: Flat/eager 7%, Radius 37%, Ranked 30%.  Radius
+    here uses the pseudo-geographic (distance) oracle, as in Fig. 4.
+    """
+    model = build_model(scale)
+    distance_params = replace(
+        params, radius_ms=_distance_radius_units(model, params)
+    )
+    series = [
+        ("flat (eager)", flat_factory(1.0), 0),
+        ("radius", radius_factory(distance_params, metric="distance"), 1),
+        ("ranked", ranked_factory(params), 2),
+    ]
+    rows = []
+    for label, factory, offset in series:
+        result = _run(scale, factory, seed_offset=offset)
+        rows.append(
+            {
+                "series": label,
+                "top5_share_pct": result.summary.top_link_share * 100.0,
+                "payload_per_msg": result.summary.payload_per_delivery,
+                "latency_ms": result.summary.mean_latency_ms,
+            }
+        )
+    return rows
+
+
+def _distance_radius_units(
+    model: ClientNetworkModel, params: ScenarioParams
+) -> float:
+    """Translate the scenario's eager-share intent into plane units.
+
+    Picks the distance radius whose in-radius pair share matches the
+    latency radius' share, so Fig. 4's Radius run produces comparable
+    traffic volume to the performance runs.
+    """
+    target = radius_calibration(model, params.radius_ms)
+    n = model.size
+    distances = sorted(
+        model.distance(i, j) for i in range(n) for j in range(i + 1, n)
+    )
+    if not distances:
+        return 1.0
+    index = min(len(distances) - 1, max(0, int(target * len(distances))))
+    return max(1.0, distances[index])
+
+
+# -- figure 5(a): latency vs bandwidth -----------------------------------------
+
+
+def figure5a(
+    scale: Scale = QUICK,
+    params: ScenarioParams = DEFAULT_PARAMS,
+    flat_probabilities: Optional[List[float]] = None,
+    ttl_rounds: Optional[List[int]] = None,
+) -> List[Dict]:
+    """The latency/bandwidth trade-off of every strategy."""
+    flat_probabilities = flat_probabilities or [0.0, 0.1, 0.25, 0.5, 0.75, 1.0]
+    ttl_rounds = ttl_rounds or [1, 2, 3, 4]
+    rows: List[Dict] = []
+    offset = 0
+
+    for p in flat_probabilities:
+        result = _run(scale, flat_factory(p), seed_offset=offset)
+        offset += 1
+        rows.append(_tradeoff_row("flat", f"p={p}", result))
+
+    for u in ttl_rounds:
+        result = _run(scale, ttl_factory(u), seed_offset=offset)
+        offset += 1
+        rows.append(_tradeoff_row("TTL", f"u={u}", result))
+
+    result = _run(scale, radius_factory(params), seed_offset=offset)
+    offset += 1
+    rows.append(_tradeoff_row("radius", f"rho={params.radius_ms}ms", result))
+
+    classes = best_low_classes(params.ranked_fraction)
+    result = _run(
+        scale, ranked_factory(params), node_classes=classes, seed_offset=offset
+    )
+    rows.append(_tradeoff_row("ranked (all)", "", result))
+    low_latency, _ = result.class_latencies["low"]
+    rows.append(
+        {
+            "series": "ranked (low)",
+            "param": "",
+            "payload_per_msg": result.class_rates["low"],
+            "latency_ms": low_latency,
+            "delivery_pct": result.summary.delivery_ratio * 100.0,
+        }
+    )
+    return rows
+
+
+def _tradeoff_row(series: str, param: str, result) -> Dict:
+    return {
+        "series": series,
+        "param": param,
+        "payload_per_msg": result.summary.payload_per_delivery,
+        "latency_ms": result.summary.mean_latency_ms,
+        "delivery_pct": result.summary.delivery_ratio * 100.0,
+    }
+
+
+# -- figure 5(b): reliability under failures --------------------------------------
+
+
+def figure5b(
+    scale: Scale = QUICK,
+    params: ScenarioParams = DEFAULT_PARAMS,
+    dead_fractions: Optional[List[float]] = None,
+) -> List[Dict]:
+    """Mean deliveries vs share of dead nodes.
+
+    Series: eager push with random failures, Ranked with random
+    failures, and Ranked with the *best* nodes failed (the adversarial
+    case showing structure does not hurt resilience).
+    """
+    dead_fractions = dead_fractions or [0.0, 0.2, 0.4, 0.6, 0.8]
+    model = build_model(scale)
+    closeness_order = sorted(range(model.size), key=model.closeness)
+
+    series = [
+        ("flat/random", flat_factory(1.0), "random"),
+        ("ranked/random", ranked_factory(params), "random"),
+        ("ranked/ranked", ranked_factory(params), "best"),
+    ]
+    rows = []
+    offset = 0
+    for label, factory, target in series:
+        for fraction in dead_fractions:
+            failure = None
+            if fraction > 0:
+                failure = FailurePlan(
+                    fraction=fraction,
+                    target=target,
+                    ranked_nodes=closeness_order if target == "best" else None,
+                )
+            result = _run(scale, factory, failure=failure, seed_offset=offset)
+            offset += 1
+            rows.append(
+                {
+                    "series": label,
+                    "dead_pct": fraction * 100.0,
+                    "deliveries_pct": result.summary.delivery_ratio * 100.0,
+                }
+            )
+    return rows
+
+
+# -- figure 5(c): the hybrid strategy ---------------------------------------------
+
+
+def figure5c(
+    scale: Scale = QUICK,
+    params: ScenarioParams = DEFAULT_PARAMS,
+    ttl_rounds: Optional[List[int]] = None,
+) -> List[Dict]:
+    """TTL sweep vs the combined strategy, split by node class."""
+    ttl_rounds = ttl_rounds or [1, 2, 3, 4]
+    classes = best_low_classes(params.ranked_fraction)
+    rows: List[Dict] = []
+    offset = 0
+
+    for u in ttl_rounds:
+        result = _run(scale, ttl_factory(u), node_classes=classes, seed_offset=offset)
+        offset += 1
+        rows.append(_tradeoff_row("TTL", f"u={u}", result))
+
+    result = _run(
+        scale, hybrid_factory(params), node_classes=classes, seed_offset=offset
+    )
+    rows.append(_tradeoff_row("combined (all)", "", result))
+    low_latency, _ = result.class_latencies["low"]
+    rows.append(
+        {
+            "series": "combined (low)",
+            "param": "",
+            "payload_per_msg": result.class_rates["low"],
+            "latency_ms": low_latency,
+            "delivery_pct": result.summary.delivery_ratio * 100.0,
+        }
+    )
+    best_latency, _ = result.class_latencies["best"]
+    rows.append(
+        {
+            "series": "combined (best)",
+            "param": "",
+            "payload_per_msg": result.class_rates["best"],
+            "latency_ms": best_latency,
+            "delivery_pct": result.summary.delivery_ratio * 100.0,
+        }
+    )
+    return rows
+
+
+# -- figure 6: degradation of structure under noise ----------------------------------
+
+
+def figure6(
+    scale: Scale = QUICK,
+    params: ScenarioParams = DEFAULT_PARAMS,
+    noise_levels: Optional[List[float]] = None,
+) -> List[Dict]:
+    """Noise sweep feeding all three panels of Fig. 6.
+
+    Each row carries payload/msg overall and for regular ("low") nodes
+    (panel a), mean latency (panel b) and the top-5% connection share
+    (panel c).
+    """
+    noise_levels = noise_levels or [0.0, 0.25, 0.5, 0.75, 1.0]
+    model = build_model(scale)
+    classes = best_low_classes(params.ranked_fraction)
+    calibrations = {
+        "radius": radius_calibration(model, params.radius_ms),
+        "ranked": ranked_calibration(model, params.ranked_fraction),
+    }
+    bases: Dict[str, StrategyFactory] = {
+        "radius": radius_factory(params),
+        "ranked": ranked_factory(params),
+    }
+    rows = []
+    offset = 0
+    for label, base in bases.items():
+        for noise in noise_levels:
+            factory = noisy_factory(base, noise, calibrations[label])
+            result = _run(scale, factory, node_classes=classes, seed_offset=offset)
+            offset += 1
+            rows.append(
+                {
+                    "series": label,
+                    "noise_pct": noise * 100.0,
+                    "payload_per_msg": result.summary.payload_per_delivery,
+                    "payload_low": result.class_rates["low"],
+                    "latency_ms": result.summary.mean_latency_ms,
+                    "top5_share_pct": result.summary.top_link_share * 100.0,
+                }
+            )
+    return rows
+
+
+# -- section 5.4: run statistics ---------------------------------------------------
+
+
+def section54_statistics(scale: Scale = QUICK) -> List[Dict]:
+    """Traffic accounting of an eager run (deliveries, packets, links)."""
+    result = _run(scale, flat_factory(1.0))
+    recorder = result.recorder
+    connections_used = len(recorder.link_payload_counts)
+    return [
+        {"statistic": "messages multicast", "value": recorder.message_count},
+        {"statistic": "messages delivered", "value": recorder.delivery_count},
+        {
+            "statistic": "payload packets transmitted",
+            "value": recorder.payload_transmissions,
+        },
+        {"statistic": "distinct connections used", "value": connections_used},
+        {
+            "statistic": "total bytes sent",
+            "value": sum(recorder.sent_bytes.values()),
+        },
+        {
+            "statistic": "mean gossip rounds to delivery",
+            "value": round(result.mean_receipt_round, 2),
+        },
+    ]

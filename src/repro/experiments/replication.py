@@ -1,0 +1,73 @@
+"""Replicated experiments with confidence intervals.
+
+The paper's statistics discipline (section 5.4): differences are called
+relevant only when 95% confidence intervals do not intersect.  This
+module runs an experiment spec several times under independent seeds and
+aggregates each headline metric into ``(mean, 95% half-width)``, plus
+the non-overlap comparison between two replicated configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.metrics.confidence import intervals_overlap, mean_confidence_interval
+from repro.topology.routing import ClientNetworkModel
+
+#: The metrics aggregated across replications.
+METRICS = ("mean_latency_ms", "payload_per_delivery", "delivery_ratio",
+           "top_link_share")
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Per-metric (mean, 95% CI half-width) over R replications."""
+
+    replications: int
+    intervals: Dict[str, Tuple[float, float]]
+
+    def mean(self, metric: str) -> float:
+        return self.intervals[metric][0]
+
+    def half_width(self, metric: str) -> float:
+        return self.intervals[metric][1]
+
+    def row(self) -> Dict[str, str]:
+        """Human-readable "mean +- hw" cells for table rendering."""
+        return {
+            metric: f"{mean:.2f} ± {hw:.2f}"
+            for metric, (mean, hw) in self.intervals.items()
+        }
+
+    def differs_from(self, other: "ReplicatedResult", metric: str) -> bool:
+        """The paper's relevance criterion: disjoint 95% intervals."""
+        return not intervals_overlap(
+            self.intervals[metric], other.intervals[metric]
+        )
+
+
+def run_replicated(
+    model: ClientNetworkModel,
+    spec: ExperimentSpec,
+    replications: int = 5,
+) -> ReplicatedResult:
+    """Run ``spec`` under ``replications`` independent seeds.
+
+    Seeds are derived from the spec's base seed, so the whole replicated
+    study is itself reproducible.
+    """
+    if replications < 2:
+        raise ValueError("replications must be >= 2 for interval estimates")
+    samples: Dict[str, List[float]] = {metric: [] for metric in METRICS}
+    for index in range(replications):
+        run_spec = replace(spec, seed=spec.seed + 10_000 * (index + 1))
+        summary = run_experiment(model, run_spec).summary
+        for metric in METRICS:
+            samples[metric].append(float(getattr(summary, metric)))
+    intervals = {
+        metric: mean_confidence_interval(values)
+        for metric, values in samples.items()
+    }
+    return ReplicatedResult(replications=replications, intervals=intervals)

@@ -1,0 +1,111 @@
+"""Plain-text rendering of experiment rows.
+
+Figures are reproduced as tables of the series the paper plots; the
+renderer keeps columns aligned and numbers compact so the output can be
+pasted straight into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None
+) -> str:
+    """Render rows as an aligned text table.
+
+    ``columns`` fixes the order; by default the first row's key order is
+    used (dicts preserve insertion order).
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        table.append([_format_value(row.get(c, "")) for c in columns])
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+    lines = []
+    for index, line in enumerate(table):
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(line)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str,
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+) -> None:
+    """Print a titled table to stdout."""
+    print(f"\n== {title} ==")
+    print(format_table(rows, columns))
+
+
+def ascii_scatter(
+    rows: Sequence[Dict[str, Any]],
+    x: str,
+    y: str,
+    series: str = "series",
+    width: int = 60,
+    height: int = 18,
+) -> str:
+    """Render rows as a terminal scatter plot.
+
+    Each distinct ``series`` value gets a letter marker (legend below the
+    axes).  Intended for the latency/payload trade-off figures, where the
+    *position* of each strategy's points is the result.
+    """
+    points = [
+        (float(row[x]), float(row[y]), str(row.get(series, "")))
+        for row in rows
+        if _is_number(row.get(x)) and _is_number(row.get(y))
+    ]
+    if not points:
+        return "(no points)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    labels = []
+    for _, _, label in points:
+        if label not in labels:
+            labels.append(label)
+    markers = {label: chr(ord("A") + i % 26) for i, label in enumerate(labels)}
+
+    grid = [[" "] * width for _ in range(height)]
+    for px, py, label in points:
+        column = int((px - x_low) / x_span * (width - 1))
+        row_index = height - 1 - int((py - y_low) / y_span * (height - 1))
+        grid[row_index][column] = markers[label]
+
+    lines = [f"{y_high:10.1f} ┤" + "".join(grid[0])]
+    for row_cells in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row_cells))
+    lines.append(f"{y_low:10.1f} ┤" + "".join(grid[-1]))
+    lines.append(
+        " " * 12 + f"{x_low:<10.2f}" + " " * max(0, width - 20) + f"{x_high:>10.2f}"
+    )
+    lines.append(" " * 12 + f"x: {x}, y: {y}")
+    legend = ", ".join(f"{marker}={label}" for label, marker in markers.items())
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def _is_number(value: Any) -> bool:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return False
+    return value == value  # rejects NaN

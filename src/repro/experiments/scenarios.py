@@ -1,0 +1,245 @@
+"""Named strategy factories with the paper's parameters.
+
+Factories close over scenario parameters and build one strategy per
+node from its :class:`~repro.runtime.node.StrategyContext`.  The oracle
+variants read the model file (the paper's evaluation mode, section 4.3);
+``radius_measured_factory`` / ``ranked_gossip_factory`` use the runtime
+monitor and the gossip ranking instead, for the monitor-quality
+ablation.
+
+Noise calibration: the wrapper of section 4.3 needs ``c`` equal to the
+wrapped strategy's average eager rate so traffic volume is preserved;
+:func:`radius_calibration` and :func:`ranked_calibration` compute it
+exactly from the model, as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.monitors.oracle import OracleDistanceMonitor, OracleLatencyMonitor
+from repro.monitors.ranking import OracleRanking
+from repro.runtime.node import StrategyContext, StrategyFactory
+from repro.scheduler.interfaces import DEFAULT_RETRY_PERIOD_MS
+from repro.strategies.flat import FlatStrategy
+from repro.strategies.hybrid import HybridStrategy
+from repro.strategies.noise import NoisyStrategy
+from repro.strategies.radius import RadiusStrategy
+from repro.strategies.ranked import RankedStrategy
+from repro.strategies.ttl import TtlStrategy
+from repro.topology.routing import ClientNetworkModel
+
+
+@dataclass(frozen=True)
+class ScenarioParams:
+    """Environment-aware strategy parameters.
+
+    ``radius_ms`` -- the Radius strategy's one-way latency radius; with
+    the paper's model (mean latency ~50 ms) a 30 ms radius makes roughly
+    a fifth of all pairs "close".  ``radius_first_delay_ms`` is ``T0``,
+    the in-radius latency estimate delaying the first IWANT.
+    ``ranked_fraction`` -- hub share: 20%, the split the paper reports in
+    Fig. 5(c).  Hybrid runs a tighter radius that shrinks after
+    ``hybrid_eager_rounds``.
+    """
+
+    radius_ms: float = 30.0
+    radius_first_delay_ms: float = 60.0
+    ranked_fraction: float = 0.2
+    ttl_rounds: int = 3
+    hybrid_radius_ms: float = 30.0
+    hybrid_eager_rounds: int = 2
+
+
+DEFAULT_PARAMS = ScenarioParams()
+
+# One OracleRanking per (model, fraction): closeness ranking is O(n^2)
+# and identical for every node, so factories share it.
+_ranking_cache: Dict[tuple, OracleRanking] = {}
+
+
+def _oracle_ranking(model: ClientNetworkModel, fraction: float) -> OracleRanking:
+    key = (id(model), fraction)
+    ranking = _ranking_cache.get(key)
+    if ranking is None:
+        ranking = OracleRanking(model, fraction)
+        _ranking_cache[key] = ranking
+    return ranking
+
+
+def best_low_classes(
+    fraction: float = DEFAULT_PARAMS.ranked_fraction,
+) -> Callable[[ClientNetworkModel], Dict[str, List[int]]]:
+    """Node-classes function splitting best hubs from regular nodes.
+
+    Feeds the "ranked (low)" / "combined (low)" series: per-class payload
+    contribution and latency.
+    """
+
+    def classes(model: ClientNetworkModel) -> Dict[str, List[int]]:
+        ranking = _oracle_ranking(model, fraction)
+        best = sorted(ranking.best_nodes)
+        low = [n for n in range(model.size) if n not in ranking.best_nodes]
+        return {"best": best, "low": low}
+
+    return classes
+
+
+# -- factories ---------------------------------------------------------------
+
+
+def flat_factory(probability: float) -> StrategyFactory:
+    """Flat(p): the latency/bandwidth baseline."""
+
+    def build(ctx: StrategyContext) -> FlatStrategy:
+        return FlatStrategy(probability, ctx.rng, ctx.retry_period_ms)
+
+    return build
+
+
+def ttl_factory(eager_rounds: int) -> StrategyFactory:
+    """TTL(u): eager during the first rounds."""
+
+    def build(ctx: StrategyContext) -> TtlStrategy:
+        return TtlStrategy(eager_rounds, ctx.retry_period_ms)
+
+    return build
+
+
+def radius_factory(
+    params: ScenarioParams = DEFAULT_PARAMS, metric: str = "latency"
+) -> StrategyFactory:
+    """Radius(rho) with an oracle monitor.
+
+    ``metric`` selects the oracle: ``"latency"`` (performance runs) or
+    ``"distance"`` (the pseudo-geographic demonstration of Fig. 4, where
+    the radius is interpreted in plane units).
+    """
+    if metric not in ("latency", "distance"):
+        raise ValueError(f"unknown metric {metric!r}")
+
+    def build(ctx: StrategyContext) -> RadiusStrategy:
+        if metric == "latency":
+            monitor = OracleLatencyMonitor(ctx.model, ctx.node)
+        else:
+            monitor = OracleDistanceMonitor(ctx.model, ctx.node)
+        return RadiusStrategy(
+            monitor,
+            radius=params.radius_ms,
+            first_request_delay_ms=params.radius_first_delay_ms,
+            retry_period_ms=ctx.retry_period_ms,
+        )
+
+    return build
+
+
+def radius_measured_factory(
+    params: ScenarioParams = DEFAULT_PARAMS,
+) -> StrategyFactory:
+    """Radius(rho) driven by the runtime latency monitor.
+
+    Requires ``ClusterConfig(enable_latency_monitor=True)``.
+    """
+
+    def build(ctx: StrategyContext) -> RadiusStrategy:
+        if ctx.latency_monitor is None:
+            raise ValueError(
+                "radius_measured_factory needs enable_latency_monitor=True"
+            )
+        return RadiusStrategy(
+            ctx.latency_monitor,
+            radius=params.radius_ms,
+            first_request_delay_ms=params.radius_first_delay_ms,
+            retry_period_ms=ctx.retry_period_ms,
+        )
+
+    return build
+
+
+def ranked_factory(params: ScenarioParams = DEFAULT_PARAMS) -> StrategyFactory:
+    """Ranked with the oracle (model-file) best-node set."""
+
+    def build(ctx: StrategyContext) -> RankedStrategy:
+        ranking = _oracle_ranking(ctx.model, params.ranked_fraction)
+        return RankedStrategy(ctx.node, ranking, ctx.retry_period_ms)
+
+    return build
+
+
+def ranked_gossip_factory() -> StrategyFactory:
+    """Ranked with the distributed gossip ranking.
+
+    Requires ``ClusterConfig(enable_gossip_ranking=True)``; each node
+    trusts its own (approximate, converging) view of the best set.
+    """
+
+    def build(ctx: StrategyContext) -> RankedStrategy:
+        if ctx.ranking is None:
+            raise ValueError(
+                "ranked_gossip_factory needs enable_gossip_ranking=True"
+            )
+        return RankedStrategy(ctx.node, ctx.ranking, ctx.retry_period_ms)
+
+    return build
+
+
+def hybrid_factory(params: ScenarioParams = DEFAULT_PARAMS) -> StrategyFactory:
+    """The section 6.4 combined strategy (oracle-driven)."""
+
+    def build(ctx: StrategyContext) -> HybridStrategy:
+        ranking = _oracle_ranking(ctx.model, params.ranked_fraction)
+        monitor = OracleLatencyMonitor(ctx.model, ctx.node)
+        return HybridStrategy(
+            node=ctx.node,
+            ranking=ranking,
+            monitor=monitor,
+            radius=params.hybrid_radius_ms,
+            eager_rounds=params.hybrid_eager_rounds,
+            first_request_delay_ms=params.radius_first_delay_ms,
+            retry_period_ms=ctx.retry_period_ms,
+        )
+
+    return build
+
+
+def noisy_factory(
+    inner: StrategyFactory, noise: float, calibration: Optional[float] = None
+) -> StrategyFactory:
+    """Wrap any factory with the section 4.3 noise model."""
+
+    def build(ctx: StrategyContext) -> NoisyStrategy:
+        return NoisyStrategy(inner(ctx), noise, ctx.rng, calibration)
+
+    return build
+
+
+# -- noise calibration ------------------------------------------------------------
+
+
+def radius_calibration(
+    model: ClientNetworkModel, radius_ms: float = DEFAULT_PARAMS.radius_ms
+) -> float:
+    """Exact average eager rate of Radius over ordered node pairs."""
+    n = model.size
+    if n < 2:
+        return 0.0
+    close = sum(
+        1
+        for i in range(n)
+        for j in range(n)
+        if i != j and model.latency(i, j) < radius_ms
+    )
+    return close / (n * (n - 1))
+
+
+def ranked_calibration(
+    model: ClientNetworkModel, fraction: float = DEFAULT_PARAMS.ranked_fraction
+) -> float:
+    """Exact average eager rate of Ranked: P(either endpoint is best)."""
+    n = model.size
+    if n < 2:
+        return 0.0
+    k = len(_oracle_ranking(model, fraction).best_nodes)
+    # Ordered pairs with neither endpoint best: (n-k)(n-k-1).
+    return 1.0 - ((n - k) * (n - k - 1)) / (n * (n - 1))

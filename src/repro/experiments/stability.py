@@ -1,0 +1,140 @@
+"""Throughput stability across a mid-run failure event.
+
+The paper's related work (section 7) credits gossip with solving the
+"throughput stability problem" [1]: reactive-repair protocols stall
+when the structure breaks, while epidemic dissemination keeps flowing.
+This experiment produces the timeline that shows it: a steady multicast
+workload, a failure event at mid-run killing a fraction of the most
+central nodes, and per-window delivery counts before/after.
+
+- Gossip (eager push): the post-failure delivery rate drops only by the
+  dead nodes' own share; surviving nodes keep receiving everything.
+- Spanning-tree multicast without repair: subtrees below dead interior
+  nodes stop delivering entirely until repair runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines.tree import TreeConfig, TreeMulticastSystem
+from repro.gossip.config import GossipConfig
+from repro.metrics.recorder import MetricsRecorder
+from repro.metrics.timeline import throughput_over_time
+from repro.network.fabric import FabricConfig, NetworkFabric
+from repro.network.transport import ConnectionTransport
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.sim.engine import Simulator
+from repro.topology.routing import ClientNetworkModel
+
+
+def _central_victims(model: ClientNetworkModel, fraction: float) -> List[int]:
+    count = int(round(fraction * model.size))
+    return sorted(range(model.size), key=model.closeness)[:count]
+
+
+def gossip_timeline(
+    model: ClientNetworkModel,
+    messages: int = 60,
+    interval_ms: float = 250.0,
+    window_ms: float = 1_000.0,
+    failure_at_ms: Optional[float] = None,
+    failed_fraction: float = 0.2,
+    warmup_ms: float = 5_000.0,
+    seed: int = 3,
+) -> Dict[int, int]:
+    """Per-window delivery counts for eager gossip with a mid-run kill.
+
+    ``failure_at_ms`` is *absolute* simulated time and must exceed
+    ``warmup_ms`` (traffic starts when warmup ends).
+    """
+    from repro.strategies.flat import PureEagerStrategy
+
+    recorder = MetricsRecorder()
+    cluster = Cluster(
+        model,
+        lambda ctx: PureEagerStrategy(),
+        config=ClusterConfig(gossip=GossipConfig.for_population(model.size)),
+        seed=seed,
+    )
+    cluster.fabric.set_observer(recorder)
+    cluster.set_multicast_hook(recorder.on_multicast)
+    cluster.set_deliver(
+        lambda node, mid, payload: recorder.on_app_deliver(node, mid, cluster.sim.now)
+    )
+    cluster.start()
+    cluster.run_for(warmup_ms)
+    victims: List[int] = []
+    if failure_at_ms is not None:
+        victims = _central_victims(model, failed_fraction)
+        cluster.sim.schedule_at(
+            failure_at_ms, lambda: [cluster.silence(v) for v in victims]
+        )
+    # Senders are the nodes that stay alive throughout, so the offered
+    # load is constant across the failure event and the timeline isolates
+    # *delivery* capability.
+    senders = [n for n in range(model.size) if n not in set(victims)]
+    for index in range(messages):
+        cluster.multicast(senders[index % len(senders)], ("m", index))
+        cluster.run_for(interval_ms)
+    cluster.run_for(5_000.0)
+    cluster.stop()
+    return throughput_over_time(recorder, window_ms)
+
+
+def tree_timeline(
+    model: ClientNetworkModel,
+    messages: int = 60,
+    interval_ms: float = 250.0,
+    window_ms: float = 1_000.0,
+    failure_at_ms: Optional[float] = None,
+    failed_fraction: float = 0.2,
+    repair_after_ms: Optional[float] = None,
+    seed: int = 4,
+) -> Dict[int, int]:
+    """Per-window delivery counts for tree multicast with a mid-run kill."""
+    sim = Simulator(seed=seed)
+    recorder = MetricsRecorder()
+    fabric = NetworkFabric(sim, model, FabricConfig())
+    fabric.set_observer(recorder)
+    transport = ConnectionTransport(fabric)
+    system = TreeMulticastSystem(
+        transport,
+        model,
+        lambda node, mid, payload: recorder.on_app_deliver(node, mid, sim.now),
+        TreeConfig(),
+    )
+    system.on_multicast = recorder.on_multicast
+
+    victims: List[int] = []
+    if failure_at_ms is not None:
+        victims = _central_victims(model, failed_fraction)
+
+        def fail() -> None:
+            for victim in victims:
+                fabric.silence(victim)
+
+        sim.schedule_at(failure_at_ms, fail)
+        if repair_after_ms is not None:
+            sim.schedule_at(failure_at_ms + repair_after_ms, system.repair, victims)
+
+    senders = [n for n in range(model.size) if n not in set(victims)]
+    sent = 0
+
+    def send_next() -> None:
+        nonlocal sent
+        system.multicast(senders[sent % len(senders)], ("m", sent))
+        sent += 1
+        if sent < messages:
+            sim.schedule(interval_ms, send_next)
+
+    sim.schedule(interval_ms, send_next)
+    sim.run(until=messages * interval_ms + 10_000.0)
+    return throughput_over_time(recorder, window_ms)
+
+
+def steady_rate(timeline: Dict[int, int], windows: List[int]) -> float:
+    """Mean deliveries per window over the given window indices."""
+    if not windows:
+        return 0.0
+    return sum(timeline.get(w, 0) for w in windows) / len(windows)

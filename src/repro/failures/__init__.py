@@ -1,0 +1,13 @@
+"""Failure injection (paper section 6.3).
+
+"We simulate failed nodes by silencing them with firewall rules after
+letting them join the overlay and warm up, i.e. immediately before
+starting to log message deliveries."  :class:`FailureInjector` does the
+same against the simulated fabric: silenced nodes stay in peers' views
+and keep receiving gossip targets, but all their traffic is dropped.
+"""
+
+from repro.failures.churn import ChurnConfig, ChurnProcess
+from repro.failures.injection import FailureInjector, FailurePlan
+
+__all__ = ["FailureInjector", "FailurePlan", "ChurnProcess", "ChurnConfig"]

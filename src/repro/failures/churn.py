@@ -1,0 +1,78 @@
+"""Churn: nodes leaving and (re)joining over time.
+
+The paper fails nodes once, before measurement.  Long-lived gossip
+deployments instead see continuous churn; since the reproduction's
+overlay and scheduler claim the same resilience properties, we provide a
+churn process to exercise them: every ``interval_ms`` one random alive
+node is silenced and one random silenced node is revived (its state
+intact, as a firewall outage would leave it).
+
+The process keeps the dead-set size around ``target_dead_fraction`` of
+the population, so experiments measure a steady churn regime rather than
+monotone decay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.timers import PeriodicTimer
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Churn process parameters."""
+
+    interval_ms: float = 1_000.0
+    target_dead_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        if not 0.0 <= self.target_dead_fraction < 1.0:
+            raise ValueError("target_dead_fraction out of [0, 1)")
+
+
+class ChurnProcess:
+    """Drives silences/revivals on a cluster's fabric."""
+
+    def __init__(self, cluster, config: Optional[ChurnConfig] = None) -> None:
+        self.cluster = cluster
+        self.config = config or ChurnConfig()
+        self._rng = cluster.sim.rng.stream("failures.churn")
+        self._timer = PeriodicTimer(
+            cluster.sim, self.config.interval_ms, self._tick
+        )
+        self.kills = 0
+        self.revivals = 0
+
+    def start(self) -> None:
+        self._timer.start()
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    @property
+    def dead_nodes(self) -> List[int]:
+        return self.cluster.fabric.silenced_nodes
+
+    def _tick(self) -> None:
+        fabric = self.cluster.fabric
+        dead = fabric.silenced_nodes
+        alive = [n for n in range(self.cluster.size) if not fabric.is_silenced(n)]
+        target = round(self.config.target_dead_fraction * self.cluster.size)
+        if len(dead) < target and alive:
+            fabric.silence(self._rng.choice(alive))
+            self.kills += 1
+        elif dead:
+            # At (or above) target: rotate membership -- revive one, kill
+            # another -- so the dead set keeps moving.
+            fabric.unsilence(self._rng.choice(dead))
+            self.revivals += 1
+            alive = [
+                n for n in range(self.cluster.size) if not fabric.is_silenced(n)
+            ]
+            if len(alive) > 1 and target > 0:
+                fabric.silence(self._rng.choice(alive))
+                self.kills += 1

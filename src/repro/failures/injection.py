@@ -1,0 +1,67 @@
+"""Node-failure plans and their application to a cluster."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """What to kill, and how the victims are chosen.
+
+    ``fraction`` of the population is silenced.  ``target`` selects the
+    victims: ``"random"`` (uniform, the baseline of Fig. 5b) or
+    ``"best"`` (the highest-ranked nodes first -- "precisely those that
+    are contributing more to the dissemination effort", the adversarial
+    case of Fig. 5b).  ``"best"`` requires ``ranked_nodes``: the
+    population ordered best-first.
+    """
+
+    fraction: float
+    target: str = "random"
+    ranked_nodes: Optional[Sequence[int]] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction < 1.0:
+            raise ValueError(f"fraction out of range: {self.fraction}")
+        if self.target not in ("random", "best"):
+            raise ValueError(f"unknown target {self.target!r}")
+        if self.target == "best" and self.ranked_nodes is None:
+            raise ValueError("target='best' requires ranked_nodes")
+
+
+class FailureInjector:
+    """Applies failure plans to a cluster's fabric."""
+
+    def __init__(self, cluster, rng: Optional[random.Random] = None) -> None:
+        self.cluster = cluster
+        self._rng = rng or cluster.sim.rng.stream("failures")
+        self.failed: List[int] = []
+
+    def apply(self, plan: FailurePlan) -> List[int]:
+        """Silence the victims; returns their ids."""
+        population = list(range(self.cluster.size))
+        count = int(round(plan.fraction * len(population)))
+        if count == 0:
+            return []
+        if plan.target == "random":
+            victims = self._rng.sample(population, count)
+        else:
+            ranked = [n for n in plan.ranked_nodes if n in set(population)]
+            victims = list(ranked[:count])
+            if len(victims) < count:
+                # Not enough ranked nodes supplied; fill uniformly.
+                rest = [n for n in population if n not in set(victims)]
+                victims += self._rng.sample(rest, count - len(victims))
+        for node in victims:
+            self.cluster.silence(node)
+        self.failed.extend(victims)
+        return victims
+
+    def fail_nodes(self, nodes: Sequence[int]) -> None:
+        """Silence an explicit node list."""
+        for node in nodes:
+            self.cluster.silence(node)
+        self.failed.extend(nodes)

@@ -1,0 +1,40 @@
+"""Eager push gossip layer (paper Fig. 2).
+
+The protocol is deliberately tiny -- that simplicity is half the paper's
+thesis.  ``Multicast(d)`` stamps a probabilistically unique identifier
+and forwards; ``Forward`` delivers locally, records the id in the known
+set ``K``, and relays to ``f`` sampled peers while the round counter is
+below ``t``; ``L-Receive`` discards duplicates and forwards.  All payload
+transmission policy lives *below*, in :mod:`repro.scheduler`, which this
+layer is completely unaware of.
+"""
+
+from repro.gossip.analysis import (
+    expected_coverage,
+    infection_trajectory,
+    mean_receipt_round,
+    rounds_to_coverage,
+)
+from repro.gossip.config import (
+    GossipConfig,
+    atomic_delivery_probability,
+    overlay_connectivity_probability,
+    recommended_rounds,
+)
+from repro.gossip.known_ids import KnownIds
+from repro.gossip.message_ids import MessageIdSource
+from repro.gossip.protocol import GossipProtocol
+
+__all__ = [
+    "infection_trajectory",
+    "expected_coverage",
+    "rounds_to_coverage",
+    "mean_receipt_round",
+    "GossipConfig",
+    "atomic_delivery_probability",
+    "overlay_connectivity_probability",
+    "recommended_rounds",
+    "KnownIds",
+    "MessageIdSource",
+    "GossipProtocol",
+]

@@ -1,0 +1,98 @@
+"""Analytic epidemic dynamics.
+
+The standard mean-field recursion for synchronous push gossip over a
+uniform random overlay: with ``i_t`` nodes infected at round ``t`` and
+fanout ``f``, each susceptible node avoids all ``f * i_t`` transmissions
+with probability ``(1 - 1/(n-1)) ** (f * i_t)``, so
+
+    i_{t+1} = i_t + (n - i_t) * (1 - (1 - 1/(n-1)) ** (f * i_t))
+
+(no node is ever dis-infected; duplicates are absorbed by the known-ids
+set).  This module evaluates that recursion and derives the quantities
+the configuration math summarizes -- expected coverage per round, rounds
+to a target coverage, and the mean receipt round -- so the simulated
+protocol can be validated against the theory it is dimensioned by
+(``tests/gossip/test_analysis.py`` does exactly that).
+
+With per-transmission loss, the effective fanout shrinks to
+``f * (1 - loss)`` in expectation, which the recursion absorbs directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+def infection_trajectory(
+    nodes: int,
+    fanout: int,
+    rounds: int,
+    loss_probability: float = 0.0,
+) -> List[float]:
+    """Expected infected counts ``[i_0, i_1, ..., i_rounds]``.
+
+    ``i_0 = 1`` (the origin).  Entries are expectations (fractional).
+    """
+    if nodes < 1 or fanout < 1 or rounds < 0:
+        raise ValueError("nodes, fanout must be >= 1 and rounds >= 0")
+    if not 0.0 <= loss_probability < 1.0:
+        raise ValueError("loss_probability must be in [0, 1)")
+    if nodes == 1:
+        return [1.0] * (rounds + 1)
+    effective = fanout * (1.0 - loss_probability)
+    miss_per_transmission = 1.0 - 1.0 / (nodes - 1)
+    trajectory = [1.0]
+    infected = 1.0
+    for _ in range(rounds):
+        susceptible = nodes - infected
+        p_reached = 1.0 - miss_per_transmission ** (effective * infected)
+        infected = infected + susceptible * p_reached
+        trajectory.append(min(float(nodes), infected))
+    return trajectory
+
+
+def expected_coverage(
+    nodes: int, fanout: int, rounds: int, loss_probability: float = 0.0
+) -> float:
+    """Expected fraction of the group infected after ``rounds`` rounds."""
+    return infection_trajectory(nodes, fanout, rounds, loss_probability)[-1] / nodes
+
+
+def rounds_to_coverage(
+    nodes: int,
+    fanout: int,
+    target: float = 0.999,
+    loss_probability: float = 0.0,
+    max_rounds: int = 64,
+) -> int:
+    """Smallest round count reaching ``target`` expected coverage.
+
+    Returns ``max_rounds`` if the target is never reached (e.g. an
+    effective fanout below the epidemic threshold).
+    """
+    if not 0.0 < target <= 1.0:
+        raise ValueError("target must be in (0, 1]")
+    trajectory = infection_trajectory(nodes, fanout, max_rounds, loss_probability)
+    for round_index, infected in enumerate(trajectory):
+        if infected / nodes >= target:
+            return round_index
+    return max_rounds
+
+
+def mean_receipt_round(
+    nodes: int, fanout: int, rounds: int, loss_probability: float = 0.0
+) -> float:
+    """Expected round at which a node first receives the message.
+
+    Weighted over the per-round infection increments (the origin counts
+    as round 0); nodes never reached are excluded from the mean.
+    """
+    trajectory = infection_trajectory(nodes, fanout, rounds, loss_probability)
+    increments = [trajectory[0]] + [
+        trajectory[t] - trajectory[t - 1] for t in range(1, len(trajectory))
+    ]
+    total = sum(increments)
+    if total <= 0:  # pragma: no cover - degenerate
+        return math.nan
+    return sum(t * inc for t, inc in enumerate(increments)) / total

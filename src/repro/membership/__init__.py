@@ -1,0 +1,31 @@
+"""Membership and peer sampling.
+
+The gossip layer of the paper (Fig. 2) assumes a *peer sampling service*
+(Jelasity et al. [10]) that returns a uniform random sample of ``f``
+other nodes.  The paper's implementation inherits NeEM's membership: a
+partial view of 15 neighbours, periodically shuffled, over which
+connections are created and torn down ("the membership management
+algorithm periodically shuffles peers with neighbors", section 6.1).
+
+Two implementations are provided:
+
+- :class:`~repro.membership.oracle.OraclePeerSampler` -- an idealized
+  uniform sampler over the whole population, for controlled unit tests
+  and analytic experiments.
+- :class:`~repro.membership.neem_overlay.NeemOverlay` -- the realistic
+  one: a bounded partial view refreshed by an epidemic shuffle protocol,
+  used by default in experiment runs.
+"""
+
+from repro.membership.neem_overlay import NeemOverlay, OverlayConfig
+from repro.membership.oracle import OraclePeerSampler
+from repro.membership.peer_sampling import PeerSamplingService
+from repro.membership.view import PartialView
+
+__all__ = [
+    "NeemOverlay",
+    "OverlayConfig",
+    "OraclePeerSampler",
+    "PeerSamplingService",
+    "PartialView",
+]

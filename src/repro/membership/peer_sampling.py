@@ -1,0 +1,24 @@
+"""The peer sampling service interface (paper's ``PeerSample(f)``)."""
+
+from __future__ import annotations
+
+from typing import List, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class PeerSamplingService(Protocol):
+    """Provides uniform random samples of other nodes.
+
+    This is the only membership primitive the gossip protocol consumes
+    (Fig. 2, line 9), so anything implementing it -- an idealized oracle
+    or a shuffled partial view -- plugs into the same stack.
+    """
+
+    def sample(self, fanout: int) -> List[int]:
+        """Return up to ``fanout`` distinct peer ids, never including the
+        local node.  May return fewer when fewer peers are known."""
+        ...
+
+    def neighbors(self) -> List[int]:
+        """All currently known peers (the local view)."""
+        ...

@@ -1,0 +1,177 @@
+"""Implicit dissemination trees.
+
+The paper's key observation: "in an eager push gossip protocol, paths
+leading to deliveries of each message implicitly build a random spanning
+tree ... embedded in the underlying random overlay" (section 2.2), and
+the whole technique amounts to biasing *which* tree tends to emerge.
+This module makes those trees first-class objects:
+
+- :class:`DisseminationTracker` observes payload deliveries on the
+  fabric and records, per message, each node's *parent* -- the peer whose
+  payload transmission arrived first (exactly the transmission that
+  triggers ``L-Receive``).
+- Analysis helpers compute per-tree shape (depth histogram, branching)
+  and **edge stability** across messages: the overlap between
+  consecutive messages' delivery trees.  An unbiased eager protocol
+  redraws its tree per message (low overlap); environment-aware
+  scheduling makes the same good edges win again and again (high
+  overlap) -- emergence, quantified at the tree level rather than the
+  traffic level.
+
+Also here: :class:`ObserverChain`, a fan-out
+:class:`~repro.network.fabric.PacketObserver` so the tracker can run
+alongside the main :class:`~repro.metrics.recorder.MetricsRecorder`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.metrics.recorder import PAYLOAD_KINDS
+from repro.network.message import Packet
+
+
+class ObserverChain:
+    """Fans fabric events out to several observers, in order."""
+
+    def __init__(self, observers: Sequence) -> None:
+        self._observers = list(observers)
+
+    def on_send(self, packet: Packet, now: float) -> None:
+        for observer in self._observers:
+            observer.on_send(packet, now)
+
+    def on_deliver(self, packet: Packet, now: float) -> None:
+        for observer in self._observers:
+            observer.on_deliver(packet, now)
+
+    def on_drop(self, packet: Packet, now: float, reason: str) -> None:
+        for observer in self._observers:
+            observer.on_drop(packet, now, reason)
+
+
+class DisseminationTracker:
+    """Records each message's implicit delivery tree."""
+
+    def __init__(self) -> None:
+        self.recording = True
+        #: message id -> {node -> parent}: first payload arrival wins.
+        self.parents: Dict[int, Dict[int, int]] = {}
+        #: message id -> origin (tree root).
+        self.roots: Dict[int, int] = {}
+
+    # -- PacketObserver ----------------------------------------------------
+
+    def on_send(self, packet: Packet, now: float) -> None:
+        pass
+
+    def on_drop(self, packet: Packet, now: float, reason: str) -> None:
+        pass
+
+    def on_deliver(self, packet: Packet, now: float) -> None:
+        if not self.recording or packet.kind not in PAYLOAD_KINDS:
+            return
+        message_id = self._message_id_of(packet)
+        if message_id is None:
+            return
+        per_node = self.parents.setdefault(message_id, {})
+        # First payload arrival is the one the scheduler hands upward.
+        per_node.setdefault(packet.dst, packet.src)
+
+    @staticmethod
+    def _message_id_of(packet: Packet) -> Optional[int]:
+        payload = packet.payload
+        if isinstance(payload, tuple) and payload:
+            first = payload[0]
+            if isinstance(first, int):
+                return first
+        return None
+
+    # -- application hook ----------------------------------------------------
+
+    def on_multicast(self, message_id: int, origin: int, now: float) -> None:
+        if self.recording:
+            self.roots[message_id] = origin
+
+    # -- analysis ------------------------------------------------------------
+
+    def tree_edges(self, message_id: int) -> List[Tuple[int, int]]:
+        """(parent, child) edges of the message's delivery tree.
+
+        The root has no parent; a recorded parent for the root (a late
+        duplicate payload) is excluded.
+        """
+        root = self.roots.get(message_id)
+        per_node = self.parents.get(message_id, {})
+        return [
+            (parent, child)
+            for child, parent in sorted(per_node.items())
+            if child != root
+        ]
+
+    def depth_histogram(self, message_id: int) -> Dict[int, int]:
+        """Nodes per depth (root at 0).  Nodes whose parent chain does
+        not reach the root (parent never delivered, e.g. the origin's
+        eager children) are measured from the nearest chain end."""
+        root = self.roots.get(message_id)
+        per_node = self.parents.get(message_id, {})
+        depths: Dict[int, int] = {}
+        if root is not None:
+            depths[root] = 0
+
+        def depth_of(node: int, seen: frozenset) -> int:
+            if node in depths:
+                return depths[node]
+            parent = per_node.get(node)
+            if parent is None or parent in seen:
+                depths[node] = 1  # direct child of an unrecorded sender
+                return 1
+            value = depth_of(parent, seen | {node}) + 1
+            depths[node] = value
+            return value
+
+        for node in per_node:
+            if node != root:
+                depth_of(node, frozenset({node}))
+        histogram: Dict[int, int] = {}
+        for value in depths.values():
+            histogram[value] = histogram.get(value, 0) + 1
+        return histogram
+
+    def mean_depth(self, message_id: int) -> float:
+        histogram = self.depth_histogram(message_id)
+        total = sum(histogram.values())
+        if total == 0:
+            return float("nan")
+        return sum(depth * count for depth, count in histogram.items()) / total
+
+    def edge_stability(self, message_ids: Optional[Iterable[int]] = None) -> float:
+        """Mean Jaccard overlap between consecutive delivery trees.
+
+        0 means every message drew a completely fresh tree; 1 means one
+        fixed tree carried everything.  Uses undirected parent-child
+        edges so reversed roles still count as the same link.
+        """
+        ids = list(message_ids) if message_ids is not None else sorted(self.parents)
+        if len(ids) < 2:
+            return float("nan")
+        overlaps: List[float] = []
+        previous: Optional[set] = None
+        for message_id in ids:
+            edges = {
+                frozenset(edge) for edge in self.tree_edges(message_id)
+            }
+            if previous is not None and (previous or edges):
+                union = previous | edges
+                overlaps.append(len(previous & edges) / len(union))
+            previous = edges
+        return sum(overlaps) / len(overlaps) if overlaps else float("nan")
+
+    def edge_usage_counts(self) -> Dict[frozenset, int]:
+        """How many delivery trees each undirected edge appeared in."""
+        counts: Dict[frozenset, int] = {}
+        for message_id in self.parents:
+            for edge in self.tree_edges(message_id):
+                key = frozenset(edge)
+                counts[key] = counts.get(key, 0) + 1
+        return counts

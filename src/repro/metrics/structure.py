@@ -1,0 +1,50 @@
+"""Emergent-structure concentration metrics.
+
+The paper visualizes emergent structure by selecting "the top 5%
+connections with highest throughput" (Fig. 4) and quantifies it by the
+share of all payload those connections carry: ~7% for eager push (no
+structure: traffic even across connections), ~37% for Radius, ~30% for
+Ranked; under full noise it converges back to 5% (Fig. 6c).  The same
+computation over *nodes* quantifies hub emergence.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Tuple
+
+
+def link_concentration(
+    link_counts: Mapping[Tuple[int, int], int], fraction: float = 0.05
+) -> float:
+    """Share of total payload carried by the top ``fraction`` of used
+    connections.
+
+    A perfectly even spread returns ``fraction``; values well above it
+    indicate structure.  Connections that carried nothing do not count
+    as "used", matching how the paper selects among observed
+    connections.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction out of range: {fraction}")
+    counts = sorted(link_counts.values(), reverse=True)
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    top_n = max(1, math.ceil(len(counts) * fraction))
+    return sum(counts[:top_n]) / total
+
+
+def node_concentration(
+    node_counts: Mapping[int, int], fraction: float = 0.05
+) -> float:
+    """Share of total payload transmitted by the top ``fraction`` of
+    transmitting nodes (hub emergence, Fig. 4c's node circles)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction out of range: {fraction}")
+    counts = sorted(node_counts.values(), reverse=True)
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    top_n = max(1, math.ceil(len(counts) * fraction))
+    return sum(counts[:top_n]) / total

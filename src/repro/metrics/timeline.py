@@ -1,0 +1,80 @@
+"""Delivery-timeline analysis.
+
+The headline latency numbers average over all deliveries; timelines show
+*how* a message saturates the group -- the quantity behind the paper's
+discussion of lazy push widening "the window of vulnerability to network
+faults" and of eager paths "outrunning" lazy ones:
+
+- :func:`completion_times` -- per message, the time from multicast until
+  a fraction of the group has delivered (time-to-50%, time-to-last).
+- :func:`completion_curve` -- the averaged delivery-fraction-vs-time
+  curve across messages, sampled at given offsets.
+- :func:`throughput_over_time` -- deliveries per window across the run,
+  the stability view (a gossip selling point vs reactive repair storms).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.metrics.recorder import MetricsRecorder
+
+
+def completion_times(
+    recorder: MetricsRecorder, expected_receivers: int, fraction: float = 1.0
+) -> Dict[int, float]:
+    """Per message: time until ``fraction`` of expected receivers have
+    delivered.  Messages that never reach the fraction are omitted."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction out of range: {fraction}")
+    needed = max(1, round(fraction * expected_receivers))
+    result: Dict[int, float] = {}
+    for message_id, per_node in recorder.deliveries.items():
+        _, sent_at = recorder.multicasts[message_id]
+        offsets = sorted(at - sent_at for at in per_node.values())
+        if len(offsets) >= needed:
+            result[message_id] = offsets[needed - 1]
+    return result
+
+
+def completion_curve(
+    recorder: MetricsRecorder,
+    expected_receivers: int,
+    sample_offsets_ms: Sequence[float],
+) -> List[float]:
+    """Mean delivered fraction at each offset after multicast."""
+    if expected_receivers < 1:
+        raise ValueError("expected_receivers must be >= 1")
+    messages = list(recorder.deliveries)
+    if not messages:
+        return [0.0 for _ in sample_offsets_ms]
+    curve = []
+    for offset in sample_offsets_ms:
+        total_fraction = 0.0
+        for message_id in messages:
+            _, sent_at = recorder.multicasts[message_id]
+            delivered = sum(
+                1
+                for at in recorder.deliveries[message_id].values()
+                if at - sent_at <= offset
+            )
+            total_fraction += delivered / expected_receivers
+        curve.append(total_fraction / len(messages))
+    return curve
+
+
+def throughput_over_time(
+    recorder: MetricsRecorder, window_ms: float
+) -> Dict[int, int]:
+    """Deliveries per time window (window index -> count).
+
+    Windows are counted from time zero, so consecutive runs line up.
+    """
+    if window_ms <= 0:
+        raise ValueError("window_ms must be positive")
+    buckets: Dict[int, int] = {}
+    for per_node in recorder.deliveries.values():
+        for at in per_node.values():
+            index = int(at // window_ms)
+            buckets[index] = buckets.get(index, 0) + 1
+    return buckets

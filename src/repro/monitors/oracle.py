@@ -1,0 +1,43 @@
+"""Model-file ("oracle") monitors.
+
+The paper's evaluation drives strategies with knowledge "extracted
+directly from the model file" so that strategy quality can be studied
+independently of monitor quality, with noise injected separately
+(section 4.3).  These monitors do the same against our
+:class:`~repro.topology.routing.ClientNetworkModel`.
+"""
+
+from __future__ import annotations
+
+from repro.topology.routing import ClientNetworkModel
+
+
+class OracleLatencyMonitor:
+    """``Metric(p)`` = one-way model latency from this node to ``p`` (ms)."""
+
+    def __init__(self, model: ClientNetworkModel, node: int) -> None:
+        self.model = model
+        self.node = node
+
+    def metric(self, peer: int) -> float:
+        if peer == self.node:
+            return 0.0
+        return self.model.latency(self.node, peer)
+
+
+class OracleDistanceMonitor:
+    """``Metric(p)`` = pseudo-geographical distance to ``p``.
+
+    The paper uses this "mostly for demonstration purposes": it makes the
+    emergent structure plottable (Fig. 4) since the metric lives on the
+    plane, while not being the right quantity to optimize latency with.
+    """
+
+    def __init__(self, model: ClientNetworkModel, node: int) -> None:
+        self.model = model
+        self.node = node
+
+    def metric(self, peer: int) -> float:
+        if peer == self.node:
+            return 0.0
+        return self.model.distance(self.node, peer)

@@ -1,0 +1,21 @@
+"""Fixed-table monitor for unit tests."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class StaticMetricMonitor:
+    """``Metric(p)`` looked up in a dict; unknown peers are infinitely far."""
+
+    def __init__(
+        self, metrics: Dict[int, float], default: float = float("inf")
+    ) -> None:
+        self._metrics = dict(metrics)
+        self._default = default
+
+    def metric(self, peer: int) -> float:
+        return self._metrics.get(peer, self._default)
+
+    def set_metric(self, peer: int, value: float) -> None:
+        self._metrics[peer] = value

@@ -1,0 +1,243 @@
+"""The emulated network core.
+
+:class:`NetworkFabric` is the ModelNet analogue: protocol endpoints hand
+it packets, and it applies, in order,
+
+1. **silencing** -- a silenced node neither sends nor receives (the
+   paper fails nodes "by silencing them with firewall rules", §6.3);
+2. **uplink serialization** -- via the sender's
+   :class:`~repro.network.nic.NetworkInterface`;
+3. **loss** -- an independent omission probability per packet
+   (0 by default; the connection transport layers FIFO reliability on
+   top, like NeEM's TCP links);
+4. **propagation delay** -- the topology model's latency for the pair,
+   optionally jittered.
+
+Every packet outcome is reported to an optional :class:`PacketObserver`,
+which is how the metrics recorder sees traffic without the protocol code
+having to do any accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
+
+from repro.network.message import Packet
+from repro.network.nic import NetworkInterface
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle
+from repro.topology.routing import ClientNetworkModel
+
+
+class PacketObserver(Protocol):
+    """Sink for fabric-level traffic events (implemented by metrics)."""
+
+    def on_send(self, packet: Packet, now: float) -> None: ...
+
+    def on_deliver(self, packet: Packet, now: float) -> None: ...
+
+    def on_drop(self, packet: Packet, now: float, reason: str) -> None: ...
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Fabric-wide behaviour knobs.
+
+    ``bandwidth_bytes_per_ms`` is the default per-node uplink; 1250
+    bytes/ms equals 10 Mbit/s, a plausible 2007 broadband uplink that
+    keeps eager bursts cheap-but-not-free.  Per-node overrides model
+    heterogeneous capacity.  ``jitter_ms`` adds a uniform random delay in
+    ``[0, jitter_ms]`` per packet.
+    """
+
+    bandwidth_bytes_per_ms: Optional[float] = 1250.0
+    loss_probability: float = 0.0
+    jitter_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError(f"loss_probability out of range: {self.loss_probability}")
+        if self.jitter_ms < 0:
+            raise ValueError(f"jitter_ms must be >= 0, got {self.jitter_ms}")
+
+
+Handler = Callable[[Packet], None]
+
+
+@dataclass
+class SendReceipt:
+    """Tracks one in-flight packet so it can be purged mid-flight."""
+
+    packet: Packet
+    handle: "EventHandle"
+    deliver_at: float
+
+
+class NetworkFabric:
+    """Routes packets between client nodes of a topology model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        model: ClientNetworkModel,
+        config: Optional[FabricConfig] = None,
+        node_bandwidth: Optional[Dict[int, Optional[float]]] = None,
+    ) -> None:
+        self.sim = sim
+        self.model = model
+        self.config = config or FabricConfig()
+        self._handlers: Dict[int, Handler] = {}
+        self._silenced: List[bool] = [False] * model.size
+        self._partition_of: Optional[List[int]] = None
+        self._rng = sim.rng.stream("network.fabric")
+        self.observer: Optional[PacketObserver] = None
+        overrides = node_bandwidth or {}
+        self.nics: List[NetworkInterface] = [
+            NetworkInterface(
+                overrides.get(node, self.config.bandwidth_bytes_per_ms)
+            )
+            for node in range(model.size)
+        ]
+
+    @property
+    def size(self) -> int:
+        return self.model.size
+
+    # -- wiring -------------------------------------------------------------
+
+    def register(self, node: int, handler: Handler) -> None:
+        """Attach the receive callback for ``node``.  One per node."""
+        if node in self._handlers:
+            raise ValueError(f"node {node} already registered")
+        self._check_node(node)
+        self._handlers[node] = handler
+
+    def set_observer(self, observer: Optional[PacketObserver]) -> None:
+        self.observer = observer
+
+    # -- failure injection ----------------------------------------------------
+
+    def silence(self, node: int) -> None:
+        """Firewall the node: all its future TX and RX are dropped."""
+        self._check_node(node)
+        self._silenced[node] = True
+
+    def unsilence(self, node: int) -> None:
+        self._check_node(node)
+        self._silenced[node] = False
+
+    def is_silenced(self, node: int) -> bool:
+        return self._silenced[node]
+
+    @property
+    def silenced_nodes(self) -> List[int]:
+        return [n for n, s in enumerate(self._silenced) if s]
+
+    def partition(self, groups: Sequence[Sequence[int]]) -> None:
+        """Split the network: nodes communicate only within their group.
+
+        ``groups`` must cover every node exactly once.  Packets in
+        flight across the cut when the partition forms are dropped at
+        delivery, like a link going down under them.  Call :meth:`heal`
+        to reconnect.
+        """
+        assignment = [-1] * self.model.size
+        for index, group in enumerate(groups):
+            for node in group:
+                self._check_node(node)
+                if assignment[node] != -1:
+                    raise ValueError(f"node {node} appears in two groups")
+                assignment[node] = index
+        missing = [n for n, g in enumerate(assignment) if g == -1]
+        if missing:
+            raise ValueError(f"nodes not assigned to any group: {missing}")
+        self._partition_of = assignment
+
+    def heal(self) -> None:
+        """Remove the partition; traffic flows everywhere again."""
+        self._partition_of = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition_of is not None
+
+    def can_communicate(self, a: int, b: int) -> bool:
+        """True when no partition separates ``a`` and ``b``."""
+        if self._partition_of is None:
+            return True
+        return self._partition_of[a] == self._partition_of[b]
+
+    # -- data path -------------------------------------------------------------
+
+    def send(
+        self, packet: Packet, min_deliver_at: float = 0.0
+    ) -> Optional["SendReceipt"]:
+        """Inject a packet.
+
+        ``min_deliver_at`` floor-bounds the delivery time; the connection
+        layer uses it to enforce per-connection FIFO ordering.  Returns a
+        :class:`SendReceipt` for in-flight packets, or ``None`` when the
+        packet was dropped at the source (silenced sender or loss).
+        """
+        now = self.sim.now
+        packet.sent_at = now
+        if self.observer is not None:
+            self.observer.on_send(packet, now)
+
+        if self._silenced[packet.src]:
+            self._drop(packet, "sender-silenced")
+            return None
+        if not self.can_communicate(packet.src, packet.dst):
+            self._drop(packet, "partitioned")
+            return None
+        serialized_at = self.nics[packet.src].transmission_done_at(
+            now, packet.size_bytes
+        )
+        if (
+            self.config.loss_probability > 0.0
+            and self._rng.random() < self.config.loss_probability
+        ):
+            self._drop(packet, "loss")
+            return None
+        delay = self.model.latency(packet.src, packet.dst)
+        if self.config.jitter_ms > 0.0:
+            delay += self._rng.uniform(0.0, self.config.jitter_ms)
+        deliver_at = max(serialized_at + delay, min_deliver_at)
+        handle = self.sim.schedule_at(deliver_at, self._deliver, packet)
+        return SendReceipt(packet=packet, handle=handle, deliver_at=deliver_at)
+
+    def abort(self, receipt: "SendReceipt", reason: str = "purged") -> None:
+        """Cancel an in-flight packet (connection-buffer purging)."""
+        if receipt.handle.pending:
+            receipt.handle.cancel()
+            self._drop(receipt.packet, reason)
+
+    def _deliver(self, packet: Packet) -> None:
+        if self._silenced[packet.src]:
+            # The sender was firewalled while the packet was in flight; a
+            # firewall drops it at the source network, so it never arrives.
+            self._drop(packet, "sender-silenced")
+            return
+        if self._silenced[packet.dst]:
+            self._drop(packet, "receiver-silenced")
+            return
+        if not self.can_communicate(packet.src, packet.dst):
+            # A partition formed while the packet was in flight.
+            self._drop(packet, "partitioned")
+            return
+        handler = self._handlers.get(packet.dst)
+        if handler is None:
+            self._drop(packet, "no-handler")
+            return
+        if self.observer is not None:
+            self.observer.on_deliver(packet, self.sim.now)
+        handler(packet)
+
+    def _drop(self, packet: Packet, reason: str) -> None:
+        if self.observer is not None:
+            self.observer.on_drop(packet, self.sim.now, reason)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.model.size:
+            raise ValueError(f"node {node} outside model of size {self.model.size}")

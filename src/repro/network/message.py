@@ -1,0 +1,80 @@
+"""Packets and wire-size accounting.
+
+The paper's traffic model (section 5.3): each multicast carries 256 bytes
+of application payload, to which NeEM adds a 24-byte header, "besides
+TCP/IP overhead".  We account a fixed 40-byte TCP/IP overhead per packet
+(IPv4 20 + TCP 20) so bandwidth numbers are grounded, and a small control
+size for IHAVE/IWANT advertisements (a 16-byte message identifier plus
+header and overhead).  Sizes only influence NIC serialization delay and
+byte counters; protocol correctness never depends on them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+#: NeEM protocol header added to every application payload (section 5.3).
+NEEM_HEADER_BYTES = 24
+
+#: Fixed per-packet transport overhead (IPv4 + TCP headers).
+PACKET_OVERHEAD_BYTES = 40
+
+#: Wire size of a control message (IHAVE/IWANT): 128-bit message id plus
+#: NeEM header, before packet overhead.
+CONTROL_OVERHEAD_BYTES = 16 + NEEM_HEADER_BYTES
+
+_packet_counter = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A unit of traffic crossing the fabric.
+
+    ``payload`` is an arbitrary protocol message object; the fabric never
+    inspects it.  ``kind`` is a short tag ("MSG", "IHAVE", "IWANT",
+    "PING", ...) used by metrics and debugging.  ``size_bytes`` is the
+    full wire size including all headers and overhead.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any
+    size_bytes: int
+    sent_at: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_packet_counter))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {self.size_bytes}")
+        if self.src == self.dst:
+            raise ValueError(f"packet to self: node {self.src}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet({self.kind} {self.src}->{self.dst}, "
+            f"{self.size_bytes}B, id={self.packet_id})"
+        )
+
+
+def payload_packet_size(application_bytes: int) -> int:
+    """Wire size of a full payload transmission (MSG)."""
+    return application_bytes + NEEM_HEADER_BYTES + PACKET_OVERHEAD_BYTES
+
+
+def control_packet_size() -> int:
+    """Wire size of an advertisement or request (IHAVE/IWANT)."""
+    return CONTROL_OVERHEAD_BYTES + PACKET_OVERHEAD_BYTES
+
+
+def control_batch_size(id_count: int) -> int:
+    """Wire size of a batched advertisement carrying ``id_count`` ids.
+
+    One NeEM header and one packet overhead are shared by the batch; the
+    16-byte identifiers stack -- which is the entire point of batching.
+    """
+    if id_count < 1:
+        raise ValueError(f"id_count must be >= 1, got {id_count}")
+    return PACKET_OVERHEAD_BYTES + NEEM_HEADER_BYTES + 16 * id_count

@@ -1,0 +1,153 @@
+"""Point-to-point transports for protocol code.
+
+Protocol layers talk to an :class:`Endpoint` bound to their node id:
+``endpoint.send(dst, kind, payload, size_bytes)`` out,
+``receiver(src, kind, payload)`` in.  Two transports implement the
+endpoint factory:
+
+- :class:`DatagramTransport` -- unordered, independently lossy packets;
+  matches the abstract "unreliable point-to-point communication service"
+  of the paper's Fig. 2 model.
+- :class:`ConnectionTransport` -- the NeEM-style layer (section 5.2):
+  per-pair FIFO delivery and a bounded per-connection buffer whose
+  overflow triggers a purging strategy.  This is the default for
+  experiments, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.network.connection import ConnectionBuffer, PurgePolicy
+from repro.network.fabric import NetworkFabric, SendReceipt
+from repro.network.message import Packet
+
+Receiver = Callable[[int, str, Any], None]
+
+
+class Endpoint:
+    """A node-bound sender/receiver handle onto a transport."""
+
+    def __init__(self, transport: "Transport", node: int) -> None:
+        self._transport = transport
+        self.node = node
+        self._receiver: Optional[Receiver] = None
+        transport._fabric.register(node, self._on_packet)
+
+    def set_receiver(self, receiver: Receiver) -> None:
+        """Install the up-call invoked as ``receiver(src, kind, payload)``."""
+        self._receiver = receiver
+
+    def send(self, dst: int, kind: str, payload: Any, size_bytes: int) -> None:
+        """Send a message to ``dst``.  Fire-and-forget, like the paper's
+        ``Send`` primitive."""
+        packet = Packet(
+            src=self.node, dst=dst, kind=kind, payload=payload, size_bytes=size_bytes
+        )
+        self._transport._submit(packet)
+
+    def _on_packet(self, packet: Packet) -> None:
+        if self._receiver is not None:
+            self._receiver(packet.src, packet.kind, packet.payload)
+
+
+class Transport:
+    """Base transport: an endpoint factory over a fabric."""
+
+    def __init__(self, fabric: NetworkFabric) -> None:
+        self._fabric = fabric
+
+    @property
+    def fabric(self) -> NetworkFabric:
+        return self._fabric
+
+    @property
+    def sim(self):
+        return self._fabric.sim
+
+    def endpoint(self, node: int) -> Endpoint:
+        """Create the endpoint for ``node`` (registers its handler)."""
+        return Endpoint(self, node)
+
+    def _submit(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+
+class DatagramTransport(Transport):
+    """Unordered, independently lossy point-to-point packets."""
+
+    def _submit(self, packet: Packet) -> None:
+        self._fabric.send(packet)
+
+
+class ConnectionTransport(Transport):
+    """FIFO-per-pair transport with bounded, purging connection buffers.
+
+    FIFO is enforced by floor-bounding each packet's delivery time with
+    the previous delivery time on the same directed pair (a TCP stream
+    cannot reorder).  The "buffer" is the set of in-flight packets per
+    pair; when it exceeds ``buffer_capacity`` the purge policy picks a
+    victim, which is then aborted mid-flight -- modelling NeEM dropping
+    user-space-buffered messages when a connection blocks.
+    """
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        buffer_capacity: int = 64,
+        purge_policy: PurgePolicy = PurgePolicy.DROP_OLDEST,
+    ) -> None:
+        super().__init__(fabric)
+        if buffer_capacity < 1:
+            raise ValueError(f"buffer_capacity must be >= 1, got {buffer_capacity}")
+        self.buffer_capacity = buffer_capacity
+        self.purge_policy = purge_policy
+        self._last_delivery: Dict[Tuple[int, int], float] = {}
+        self._in_flight: Dict[Tuple[int, int], Dict[int, SendReceipt]] = {}
+        self._rng = fabric.sim.rng.stream("network.connections")
+        self.purged_count = 0
+
+    def _submit(self, packet: Packet) -> None:
+        pair = (packet.src, packet.dst)
+        in_flight = self._in_flight.setdefault(pair, {})
+        self._reap_delivered(in_flight)
+
+        if len(in_flight) >= self.buffer_capacity:
+            victim = self._pick_victim(in_flight, packet)
+            if victim is packet:
+                # DROP_NEWEST: account it as a sent-then-purged packet so
+                # observers see consistent send/drop pairs.
+                packet.sent_at = self.sim.now
+                if self._fabric.observer is not None:
+                    self._fabric.observer.on_send(packet, self.sim.now)
+                    self._fabric.observer.on_drop(packet, self.sim.now, "purged")
+                self.purged_count += 1
+                return
+            receipt = in_flight.pop(victim.packet_id)
+            self._fabric.abort(receipt, reason="purged")
+            self.purged_count += 1
+
+        floor = self._last_delivery.get(pair, 0.0)
+        receipt = self._fabric.send(packet, min_deliver_at=floor)
+        if receipt is None:
+            return
+        self._last_delivery[pair] = receipt.deliver_at
+        in_flight[packet.packet_id] = receipt
+
+    def _pick_victim(
+        self, in_flight: Dict[int, SendReceipt], incoming: Packet
+    ) -> Packet:
+        if self.purge_policy is PurgePolicy.DROP_NEWEST:
+            return incoming
+        receipts = list(in_flight.values())
+        if self.purge_policy is PurgePolicy.DROP_OLDEST:
+            return min(receipts, key=lambda r: r.deliver_at).packet
+        return self._rng.choice(receipts).packet
+
+    @staticmethod
+    def _reap_delivered(in_flight: Dict[int, SendReceipt]) -> None:
+        delivered = [
+            pid for pid, receipt in in_flight.items() if not receipt.handle.pending
+        ]
+        for pid in delivered:
+            del in_flight[pid]

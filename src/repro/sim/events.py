@@ -1,0 +1,144 @@
+"""Event queue primitives for the discrete-event kernel.
+
+The queue is a binary heap ordered by ``(time, sequence)``.  The sequence
+number guarantees deterministic FIFO ordering among events scheduled for
+the same instant, which in turn makes whole simulation runs reproducible
+bit-for-bit given the same seed.  Cancellation is *lazy*: cancelled events
+stay in the heap but are skipped when popped, which keeps both operations
+O(log n) without the bookkeeping of heap re-ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :class:`EventQueue` and are not meant to be
+    built directly by user code.  ``callback`` is invoked as
+    ``callback(*args)`` when the event fires.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"Event(t={self.time:.3f}, seq={self.seq}, {name}, {state})"
+
+
+class EventHandle:
+    """An opaque handle allowing a scheduled event to be cancelled.
+
+    Handles remain valid after the event fires; cancelling a fired event
+    is a harmless no-op.  This mirrors the semantics of
+    ``asyncio.TimerHandle`` and keeps caller code free of "has it fired
+    yet?" races.
+    """
+
+    __slots__ = ("_event", "_queue")
+
+    def __init__(self, event: Event, queue: "EventQueue") -> None:
+        self._event = event
+        self._queue = queue
+
+    def cancel(self) -> None:
+        """Prevent the event from running.  Idempotent; no-op once fired."""
+        event = self._event
+        if event.fired or event.cancelled:
+            return
+        event.cancelled = True
+        self._queue._live -= 1
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def fired(self) -> bool:
+        return self._event.fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still queued and will run."""
+        return not (self._event.fired or self._event.cancelled)
+
+    @property
+    def time(self) -> float:
+        """The simulated time at which the event is (was) due."""
+        return self._event.time
+
+
+class EventQueue:
+    """A cancellable priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled, non-fired) events queued."""
+        return self._live
+
+    def push(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        event = Event(time, self._seq, callback, args)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event, self)
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if empty.
+
+        Cancelled events encountered on the way are discarded silently.
+        The returned event is marked as fired.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            event.fired = True
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop every queued event."""
+        for event in self._heap:
+            event.cancelled = True
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,113 @@
+"""Generator-based processes over the simulator.
+
+The protocol stacks in this repository are written callback-style, but
+sequential test scenarios and ad-hoc experiment scripts read much better
+as coroutines ("sleep 100 ms, multicast, wait for the signal, assert").
+This module provides that in the simpy idiom, without any dependency:
+
+- ``yield <number>`` -- sleep that many simulated milliseconds;
+- ``yield <Signal>`` -- park until the signal is triggered; the yield
+  evaluates to the trigger value;
+- ``yield <Process>`` -- join another process; the yield evaluates to
+  its return value.
+
+Example
+-------
+>>> from repro.sim import Simulator
+>>> sim = Simulator()
+>>> log = []
+>>> def worker():
+...     yield 5.0
+...     log.append(sim.now)
+...     return "done"
+>>> def main():
+...     result = yield spawn(sim, worker())
+...     log.append(result)
+>>> _ = spawn(sim, main())
+>>> sim.run()
+>>> log
+[5.0, 'done']
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.sim.engine import Simulator
+
+
+class Signal:
+    """A one-shot wakeup that processes can wait on.
+
+    Triggering is sticky: waiters arriving after :meth:`trigger` resume
+    immediately with the stored value.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the signal, waking every waiter on the next event."""
+        if self.triggered:
+            raise RuntimeError("signal already triggered")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self.sim.call_soon(waiter, value)
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` once triggered (maybe immediately)."""
+        if self.triggered:
+            self.sim.call_soon(callback, self.value)
+        else:
+            self._waiters.append(callback)
+
+
+class Process:
+    """A running generator; create with :func:`spawn`."""
+
+    def __init__(self, sim: Simulator, generator: Generator) -> None:
+        self.sim = sim
+        self._generator = generator
+        self.alive = True
+        self.result: Any = None
+        self.done = Signal(sim)
+        sim.call_soon(self._step, None)
+
+    def _step(self, send_value: Any) -> None:
+        if not self.alive:
+            return
+        try:
+            yielded = self._generator.send(send_value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = stop.value
+            self.done.trigger(stop.value)
+            return
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise ValueError(f"cannot sleep a negative delay: {yielded}")
+            self.sim.schedule(float(yielded), self._step, None)
+        elif isinstance(yielded, Signal):
+            yielded.wait(self._step)
+        elif isinstance(yielded, Process):
+            yielded.done.wait(self._step)
+        else:
+            raise TypeError(
+                "processes may yield a delay, a Signal or a Process; got "
+                f"{yielded!r}"
+            )
+
+    def interrupt(self) -> None:
+        """Stop the process; it never resumes and its signal never fires."""
+        self.alive = False
+        self._generator.close()
+
+
+def spawn(sim: Simulator, generator: Generator) -> Process:
+    """Start ``generator`` as a process on ``sim``; returns its handle."""
+    return Process(sim, generator)

@@ -1,0 +1,34 @@
+"""The Time-To-Live strategy (section 4.1).
+
+Eager push while the round number is below ``u``, lazy afterwards:
+"During the first rounds, the likelihood of a node being targeted by
+more than one copy of the payload is small and thus there is no point in
+using lazy push."  With fanout ``f``, the first ``u`` rounds reach about
+``f**u`` nodes eagerly; the tail of the epidemic -- where duplicates
+concentrate -- goes lazy.  The paper measures 250 ms at 1.7 payloads per
+delivery with this strategy, its best oblivious trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.scheduler.interfaces import DEFAULT_RETRY_PERIOD_MS
+from repro.strategies.base import BaseStrategy
+
+
+class TtlStrategy(BaseStrategy):
+    """Eager iff ``round < eager_rounds``."""
+
+    def __init__(
+        self,
+        eager_rounds: int,
+        retry_period_ms: float = DEFAULT_RETRY_PERIOD_MS,
+    ) -> None:
+        super().__init__(retry_period_ms)
+        if eager_rounds < 0:
+            raise ValueError(f"eager_rounds must be >= 0, got {eager_rounds}")
+        self.eager_rounds = eager_rounds
+
+    def eager(self, message_id: int, payload: Any, round_: int, peer: int) -> bool:
+        return round_ < self.eager_rounds

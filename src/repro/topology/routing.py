@@ -1,0 +1,205 @@
+"""Shortest-path routing and the client-level network model.
+
+Routing policy: **hop-count first, latency second** (lexicographic).
+This mirrors how ModelNet routes between virtual nodes over an Inet
+model -- Internet routing minimizes AS hops, not propagation delay -- and
+it is what makes latency calibration in :mod:`repro.topology.inet` exact.
+
+The end product consumed by the network fabric is a
+:class:`ClientNetworkModel`: dense latency / hop / distance matrices
+between the *client* nodes only.  Everything above the topology package
+speaks in client indices ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.topology.geometry import Point, euclidean
+from repro.topology.graph import NodeKind, RouterTopology
+
+_INF = float("inf")
+
+
+def shortest_paths(
+    graph: RouterTopology, source: int
+) -> Tuple[List[int], List[float]]:
+    """Single-source shortest paths under (hops, latency) lexicographic cost.
+
+    Returns ``(hops, latency)`` lists indexed by node id; unreachable
+    nodes carry ``-1`` hops and ``inf`` latency.
+    """
+    node_count = graph.node_count
+    hops = [-1] * node_count
+    latency = [_INF] * node_count
+    done = [False] * node_count
+    heap: List[Tuple[int, float, int]] = [(0, 0.0, source)]
+    hops[source] = 0
+    latency[source] = 0.0
+    while heap:
+        h, lat, node = heapq.heappop(heap)
+        if done[node]:
+            continue
+        done[node] = True
+        for neighbor, link_latency in graph.adjacency[node]:
+            if done[neighbor]:
+                continue
+            candidate = (h + 1, lat + link_latency)
+            current = (hops[neighbor], latency[neighbor])
+            if hops[neighbor] == -1 or candidate < current:
+                hops[neighbor], latency[neighbor] = candidate
+                heapq.heappush(heap, (candidate[0], candidate[1], neighbor))
+    return hops, latency
+
+
+def mean_client_latency_split(
+    graph: RouterTopology, client_ids: Sequence[int]
+) -> Tuple[float, float]:
+    """Mean client-pair latency split into (access part, router part).
+
+    Clients are degree-1 leaves, so every client-to-client path crosses
+    exactly the two endpoint access links; the access part is therefore
+    the mean of the two access-link latencies over all pairs and the
+    router part is the remainder.  Used by latency calibration.
+    """
+    if len(client_ids) < 2:
+        raise ValueError("need at least two clients")
+    access = {
+        client: graph.adjacency[client][0][1] for client in client_ids
+    }
+    total = 0.0
+    access_total = 0.0
+    pair_count = 0
+    for index, source in enumerate(client_ids):
+        _, latency = shortest_paths(graph, source)
+        for target in client_ids[index + 1 :]:
+            total += latency[target]
+            access_total += access[source] + access[target]
+            pair_count += 1
+    mean_total = total / pair_count
+    mean_access = access_total / pair_count
+    return mean_access, mean_total - mean_access
+
+
+class ClientNetworkModel:
+    """Dense latency / hop / position model between client nodes.
+
+    This is the "model file" the paper's oracle monitors read (section
+    4.3): strategies can be driven either from live measurements or from
+    this global knowledge, exactly as in the original evaluation.
+    """
+
+    def __init__(
+        self,
+        latency_ms: List[List[float]],
+        hops: List[List[int]],
+        positions: List[Point],
+    ) -> None:
+        n = len(latency_ms)
+        if any(len(row) != n for row in latency_ms):
+            raise ValueError("latency matrix must be square")
+        if len(hops) != n or any(len(row) != n for row in hops):
+            raise ValueError("hops matrix must match latency matrix")
+        if len(positions) != n:
+            raise ValueError("positions must match matrix size")
+        self.latency_ms = latency_ms
+        self.hops = hops
+        self.positions = positions
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_topology(
+        cls, graph: RouterTopology, client_ids: Sequence[int]
+    ) -> "ClientNetworkModel":
+        """Build matrices by routing between the given client nodes."""
+        n = len(client_ids)
+        latency_ms = [[0.0] * n for _ in range(n)]
+        hop_matrix = [[0] * n for _ in range(n)]
+        for i, source in enumerate(client_ids):
+            hops, latency = shortest_paths(graph, source)
+            for j, target in enumerate(client_ids):
+                if i == j:
+                    continue
+                if hops[target] < 0:
+                    raise ValueError(
+                        f"client {target} unreachable from client {source}"
+                    )
+                latency_ms[i][j] = latency[target]
+                hop_matrix[i][j] = hops[target]
+        positions = [graph.positions[c] for c in client_ids]
+        return cls(latency_ms, hop_matrix, positions)
+
+    @classmethod
+    def from_inet(cls, inet_topology) -> "ClientNetworkModel":
+        """Build from a :class:`repro.topology.inet.InetTopology`."""
+        return cls.from_topology(inet_topology.graph, inet_topology.client_ids)
+
+    @classmethod
+    def uniform(cls, n: int, latency_ms: float = 50.0) -> "ClientNetworkModel":
+        """All-pairs-equal model; handy for analytic unit tests."""
+        latency = [
+            [0.0 if i == j else latency_ms for j in range(n)] for i in range(n)
+        ]
+        hops = [[0 if i == j else 1 for j in range(n)] for i in range(n)]
+        positions = [Point(float(i), 0.0) for i in range(n)]
+        return cls(latency, hops, positions)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.latency_ms)
+
+    def latency(self, a: int, b: int) -> float:
+        """One-way latency in ms between clients ``a`` and ``b``."""
+        return self.latency_ms[a][b]
+
+    def rtt(self, a: int, b: int) -> float:
+        """Round-trip time in ms between clients ``a`` and ``b``."""
+        return self.latency_ms[a][b] + self.latency_ms[b][a]
+
+    def hop_distance(self, a: int, b: int) -> int:
+        return self.hops[a][b]
+
+    def distance(self, a: int, b: int) -> float:
+        """Pseudo-geographical distance between clients ``a`` and ``b``."""
+        return euclidean(self.positions[a], self.positions[b])
+
+    def mean_latency(self) -> float:
+        """Mean latency over ordered client pairs."""
+        n = self.size
+        if n < 2:
+            return 0.0
+        total = sum(
+            self.latency_ms[i][j] for i in range(n) for j in range(n) if i != j
+        )
+        return total / (n * (n - 1))
+
+    def closeness(self, node: int) -> float:
+        """Mean latency from ``node`` to every other client.
+
+        Lower is more central; the oracle ranking uses this as the node
+        quality metric (a well-placed node can serve many peers quickly).
+        """
+        n = self.size
+        if n < 2:
+            return 0.0
+        return sum(self.latency_ms[node][j] for j in range(n) if j != node) / (
+            n - 1
+        )
+
+    def nearest(self, node: int, candidates: Sequence[int]) -> Optional[int]:
+        """The candidate with the lowest latency from ``node``."""
+        best = None
+        best_latency = math.inf
+        for candidate in candidates:
+            if candidate == node:
+                continue
+            lat = self.latency_ms[node][candidate]
+            if lat < best_latency:
+                best_latency = lat
+                best = candidate
+        return best

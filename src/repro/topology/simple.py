@@ -1,0 +1,162 @@
+"""Small analytic topologies for unit tests and examples.
+
+These build :class:`~repro.topology.routing.ClientNetworkModel` instances
+directly (no router level), with fully controlled latencies, so tests can
+assert exact delivery times and strategies can be probed in isolation
+from the Inet generator's randomness.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from repro.topology.geometry import Point
+from repro.topology.routing import ClientNetworkModel
+
+
+def complete_topology(
+    n: int,
+    latency_ms: float = 50.0,
+    jitter_ms: float = 0.0,
+    seed: int = 0,
+) -> ClientNetworkModel:
+    """All pairs connected with ``latency_ms`` (+- uniform jitter).
+
+    Latencies are symmetric.  With ``jitter_ms == 0`` this equals
+    :meth:`ClientNetworkModel.uniform`.
+    """
+    rng = random.Random(seed)
+    latency = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = latency_ms
+            if jitter_ms > 0:
+                value += rng.uniform(-jitter_ms, jitter_ms)
+            value = max(0.1, value)
+            latency[i][j] = value
+            latency[j][i] = value
+    hops = [[0 if i == j else 1 for j in range(n)] for i in range(n)]
+    positions = [
+        Point(
+            math.cos(2 * math.pi * i / n) * 100.0,
+            math.sin(2 * math.pi * i / n) * 100.0,
+        )
+        for i in range(n)
+    ]
+    return ClientNetworkModel(latency, hops, positions)
+
+
+def ring_topology(n: int, hop_latency_ms: float = 10.0) -> ClientNetworkModel:
+    """Clients on a ring; latency proportional to ring distance."""
+    latency = [[0.0] * n for _ in range(n)]
+    hops = [[0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            ring_distance = min((i - j) % n, (j - i) % n)
+            latency[i][j] = ring_distance * hop_latency_ms
+            hops[i][j] = ring_distance
+    positions = [
+        Point(
+            math.cos(2 * math.pi * i / n) * 100.0,
+            math.sin(2 * math.pi * i / n) * 100.0,
+        )
+        for i in range(n)
+    ]
+    return ClientNetworkModel(latency, hops, positions)
+
+
+def star_topology(
+    n: int,
+    center_latency_ms: float = 5.0,
+    edge_latency_ms: float = 50.0,
+) -> ClientNetworkModel:
+    """Client 0 is a hub; everyone else reaches peers through it.
+
+    Node 0 is ``center_latency_ms`` away from everyone; leaf pairs are
+    ``2 * edge_latency_ms`` apart (leaf-hub-leaf).  Useful for asserting
+    that rank-aware strategies route payload through the hub.
+    """
+    latency = [[0.0] * n for _ in range(n)]
+    hops = [[0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if i == 0 or j == 0:
+                latency[i][j] = center_latency_ms
+                hops[i][j] = 1
+            else:
+                latency[i][j] = 2 * edge_latency_ms
+                hops[i][j] = 2
+    positions = [Point(0.0, 0.0)] + [
+        Point(
+            math.cos(2 * math.pi * i / max(1, n - 1)) * 100.0,
+            math.sin(2 * math.pi * i / max(1, n - 1)) * 100.0,
+        )
+        for i in range(1, n)
+    ]
+    return ClientNetworkModel(latency, hops, positions)
+
+
+def grid_topology(
+    rows: int, cols: int, hop_latency_ms: float = 10.0
+) -> ClientNetworkModel:
+    """Clients on a ``rows x cols`` grid; latency = Manhattan distance.
+
+    Gives the Radius strategy a clean mesh to emerge on.
+    """
+    n = rows * cols
+    latency = [[0.0] * n for _ in range(n)]
+    hops = [[0] * n for _ in range(n)]
+    for i in range(n):
+        ri, ci = divmod(i, cols)
+        for j in range(n):
+            if i == j:
+                continue
+            rj, cj = divmod(j, cols)
+            manhattan = abs(ri - rj) + abs(ci - cj)
+            latency[i][j] = manhattan * hop_latency_ms
+            hops[i][j] = manhattan
+    positions = [
+        Point(float(i % cols) * 10.0, float(i // cols) * 10.0) for i in range(n)
+    ]
+    return ClientNetworkModel(latency, hops, positions)
+
+
+def random_metric_topology(
+    n: int,
+    mean_latency_ms: float = 50.0,
+    seed: int = 0,
+    positions: Optional[List[Point]] = None,
+) -> ClientNetworkModel:
+    """Random planar positions; latency proportional to distance.
+
+    A lightweight stand-in for the Inet model when tests want geographic
+    structure without paying for topology generation.
+    """
+    rng = random.Random(seed)
+    if positions is None:
+        positions = [
+            Point(rng.uniform(0, 1000.0), rng.uniform(0, 1000.0))
+            for _ in range(n)
+        ]
+    raw = [[0.0] * n for _ in range(n)]
+    total = 0.0
+    pairs = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = positions[i].distance_to(positions[j])
+            raw[i][j] = raw[j][i] = d
+            total += d
+            pairs += 1
+    scale = mean_latency_ms / (total / pairs) if pairs else 1.0
+    latency = [
+        [max(0.1, raw[i][j] * scale) if i != j else 0.0 for j in range(n)]
+        for i in range(n)
+    ]
+    hops = [[0 if i == j else 1 for j in range(n)] for i in range(n)]
+    return ClientNetworkModel(latency, hops, positions)

@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gossip.config import GossipConfig
+from repro.metrics.recorder import MetricsRecorder
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.sim.engine import Simulator
+from repro.topology.simple import complete_topology
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def small_model():
+    """A 12-node all-pairs model with mild latency jitter."""
+    return complete_topology(12, latency_ms=20.0, jitter_ms=4.0, seed=7)
+
+
+def build_cluster(
+    model,
+    strategy_factory,
+    seed: int = 11,
+    config: ClusterConfig = None,
+    **config_kwargs,
+):
+    """Cluster + recorder wired the way the experiment runner does it."""
+    if config is None:
+        config_kwargs.setdefault(
+            "gossip", GossipConfig.for_population(model.size, fanout=5)
+        )
+        config = ClusterConfig(**config_kwargs)
+    recorder = MetricsRecorder()
+    cluster = Cluster(model, strategy_factory, config=config, seed=seed)
+    cluster.fabric.set_observer(recorder)
+    cluster.set_multicast_hook(recorder.on_multicast)
+    cluster.set_deliver(
+        lambda node, mid, payload: recorder.on_app_deliver(node, mid, cluster.sim.now)
+    )
+    return cluster, recorder

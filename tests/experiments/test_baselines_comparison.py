@@ -1,0 +1,69 @@
+"""Baseline-comparison harness tests at tiny scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.baselines import compare_baselines, compare_under_failures
+from repro.experiments.figures import Scale
+
+TINY = Scale("tiny", clients=20, routers=250, messages=15, warmup_ms=3_000.0, seed=6)
+
+
+@pytest.fixture(scope="module")
+def stable_rows():
+    return compare_baselines(TINY)
+
+
+def test_all_series_present(stable_rows):
+    assert {row["series"] for row in stable_rows} == {
+        "gossip eager",
+        "gossip TTL",
+        "gossip hybrid",
+        "tree",
+        "pull",
+    }
+
+
+def test_stable_network_everyone_delivers(stable_rows):
+    for row in stable_rows:
+        assert row["delivery_pct"] > 98.0, row
+
+
+def test_tree_is_cheapest_and_pull_is_slowest(stable_rows):
+    by_series = {row["series"]: row for row in stable_rows}
+    assert by_series["tree"]["payload_per_msg"] <= 1.05
+    assert by_series["tree"]["total_MB"] < by_series["gossip eager"]["total_MB"]
+    assert (
+        by_series["pull"]["latency_ms"]
+        > 2 * by_series["gossip eager"]["latency_ms"]
+    )
+
+
+def test_targeted_failure_comparison():
+    rows = compare_under_failures(TINY, failed_fraction=0.25)
+    by_series = {row["series"]: row for row in rows}
+    assert by_series["gossip eager"]["delivery_pct"] > 98.0
+    assert by_series["gossip ranked"]["delivery_pct"] > 98.0
+    assert by_series["tree (no repair)"]["delivery_pct"] < 95.0
+
+
+def test_repair_recovers_tree_deliveries():
+    broken = compare_under_failures(TINY, failed_fraction=0.25)
+    repaired = compare_under_failures(
+        TINY, failed_fraction=0.25, repair_delay_ms=2_000.0
+    )
+    broken_pct = next(
+        r["delivery_pct"] for r in broken if r["series"].startswith("tree")
+    )
+    repaired_pct = next(
+        r["delivery_pct"] for r in repaired if r["series"].startswith("tree")
+    )
+    assert repaired_pct > broken_pct
+
+
+def test_random_target_mode():
+    rows = compare_under_failures(TINY, failed_fraction=0.2, target="random")
+    assert any(row["series"].startswith("tree") for row in rows)
+    with pytest.raises(ValueError):
+        compare_under_failures(TINY, target="bogus")

@@ -1,0 +1,155 @@
+"""Figure harness tests at tiny scale.
+
+These assert the *shape* results the paper reports, on a reduced
+population so the whole module runs in seconds.  Full-scale shape checks
+live in the benchmarks and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    Scale,
+    build_model,
+    figure4,
+    figure5a,
+    figure5b,
+    figure5c,
+    figure6,
+    section51_table,
+    section54_statistics,
+)
+
+TINY = Scale("tiny", clients=24, routers=300, messages=30, warmup_ms=4_000.0, seed=2)
+
+
+@pytest.fixture(scope="module")
+def fig5a_rows():
+    return figure5a(TINY, flat_probabilities=[0.0, 1.0], ttl_rounds=[2])
+
+
+def test_model_is_cached():
+    assert build_model(TINY) is build_model(TINY)
+
+
+def test_section51_table_structure():
+    rows = section51_table(TINY)
+    assert {row["statistic"] for row in rows} == {
+        "mean hop distance",
+        "pairs within 5-6 hops (%)",
+        "mean end-to-end latency (ms)",
+        "pairs within 39-60 ms (%)",
+    }
+    latency_row = next(r for r in rows if "latency" in r["statistic"])
+    assert latency_row["measured"] == pytest.approx(49.83, abs=0.01)
+
+
+def test_figure5a_eager_lazy_extremes(fig5a_rows):
+    by_param = {(r["series"], r["param"]): r for r in fig5a_rows}
+    lazy = by_param[("flat", "p=0.0")]
+    eager = by_param[("flat", "p=1.0")]
+    # Lazy: ~1 payload per delivery, slow.  Eager: ~fanout, fast.
+    assert lazy["payload_per_msg"] == pytest.approx(1.0, abs=0.15)
+    assert eager["payload_per_msg"] == pytest.approx(11.0, abs=1.0)
+    assert lazy["latency_ms"] > 1.5 * eager["latency_ms"]
+
+
+def test_figure5a_ttl_beats_flat_tradeoff(fig5a_rows):
+    by_param = {(r["series"], r["param"]): r for r in fig5a_rows}
+    lazy = by_param[("flat", "p=0.0")]
+    ttl = by_param[("TTL", "u=2")]
+    # At (near) equal payload cost, TTL is substantially faster.
+    assert ttl["payload_per_msg"] < lazy["payload_per_msg"] + 0.5
+    assert ttl["latency_ms"] < lazy["latency_ms"]
+
+
+def test_figure5a_includes_ranked_series(fig5a_rows):
+    series = {row["series"] for row in fig5a_rows}
+    assert {"ranked (all)", "ranked (low)", "radius"} <= series
+
+
+def test_figure4_structure_ordering():
+    rows = figure4(TINY)
+    shares = {row["series"]: row["top5_share_pct"] for row in rows}
+    # Environment-aware strategies concentrate traffic; eager does not.
+    assert shares["radius"] > 1.5 * shares["flat (eager)"]
+    assert shares["ranked"] > shares["flat (eager)"]
+
+
+def test_figure5b_reliability_shape():
+    rows = figure5b(TINY, dead_fractions=[0.0, 0.5])
+    by_key = {(r["series"], r["dead_pct"]): r["deliveries_pct"] for r in rows}
+    # No failures -> atomic delivery for every configuration.
+    assert by_key[("flat/random", 0.0)] == pytest.approx(100.0, abs=1.0)
+    assert by_key[("ranked/random", 0.0)] == pytest.approx(100.0, abs=1.0)
+    # Killing the best nodes must not collapse reliability (the paper's
+    # headline resilience claim).
+    assert by_key[("ranked/ranked", 50.0)] > 80.0
+
+
+def test_figure5c_hybrid_classes():
+    rows = figure5c(TINY, ttl_rounds=[2])
+    by_series = {row["series"]: row for row in rows}
+    low = by_series["combined (low)"]
+    best = by_series["combined (best)"]
+    overall = by_series["combined (all)"]
+    # Hubs carry an order of magnitude more payload than regular nodes.
+    assert best["payload_per_msg"] > 4 * low["payload_per_msg"]
+    assert low["payload_per_msg"] < overall["payload_per_msg"]
+
+
+def test_figure6_noise_shape():
+    rows = figure6(TINY, noise_levels=[0.0, 1.0])
+    ranked = {row["noise_pct"]: row for row in rows if row["series"] == "ranked"}
+    # Payload volume approximately preserved (the 4.3 calibration claim).
+    assert ranked[100.0]["payload_per_msg"] == pytest.approx(
+        ranked[0.0]["payload_per_msg"], rel=0.25
+    )
+    # Structure blurred: top-5% share drops toward the unstructured level.
+    assert ranked[100.0]["top5_share_pct"] < ranked[0.0]["top5_share_pct"]
+    # Latency degrades gracefully (no collapse).
+    assert ranked[100.0]["latency_ms"] < 3 * ranked[0.0]["latency_ms"]
+    # Regular-node payload converges toward the overall average.
+    gap0 = abs(ranked[0.0]["payload_low"] - ranked[0.0]["payload_per_msg"])
+    gap1 = abs(ranked[100.0]["payload_low"] - ranked[100.0]["payload_per_msg"])
+    assert gap1 < gap0
+
+
+def test_section54_statistics_accounting():
+    rows = section54_statistics(TINY)
+    values = {row["statistic"]: row["value"] for row in rows}
+    assert values["messages multicast"] == TINY.messages
+    # Eager: every alive node delivers every message.
+    assert values["messages delivered"] == pytest.approx(
+        TINY.messages * TINY.clients, rel=0.02
+    )
+    # Payload packets ~ deliveries x fanout.
+    assert values["payload packets transmitted"] == pytest.approx(
+        values["messages delivered"] * 11, rel=0.1
+    )
+    assert values["distinct connections used"] > TINY.clients
+
+
+def test_distance_radius_units_tracks_latency_share():
+    """The Fig. 4 distance radius is chosen so its in-radius pair share
+    matches the latency radius' share."""
+    from repro.experiments.figures import _distance_radius_units
+    from repro.experiments.scenarios import DEFAULT_PARAMS, radius_calibration
+
+    model = build_model(TINY)
+    units = _distance_radius_units(model, DEFAULT_PARAMS)
+    n = model.size
+    target = radius_calibration(model, DEFAULT_PARAMS.radius_ms)
+    in_radius = sum(
+        1
+        for i in range(n)
+        for j in range(i + 1, n)
+        if model.distance(i, j) < units
+    )
+    share = in_radius / (n * (n - 1) / 2)
+    assert share == pytest.approx(target, abs=0.08)
+
+
+def test_scale_traffic_config():
+    assert TINY.traffic().messages == TINY.messages

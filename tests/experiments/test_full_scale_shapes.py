@@ -1,0 +1,35 @@
+"""Paper-scale shape validation (slow; deselect with -m "not slow").
+
+Runs the headline hybrid experiment (Fig. 5c) at the full 100-client /
+3037-router / 400-message scale and asserts the published split
+reproduces: regular nodes at ~pure-lazy payload cost with a clear
+latency win, hubs near the fanout's worth of payload each.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import FULL, figure5c
+
+
+@pytest.mark.slow
+def test_figure5c_full_scale_reproduces_paper_split():
+    rows = figure5c(FULL, ttl_rounds=[2, 3])
+    by_series = {row["series"]: row for row in rows}
+    low = by_series["combined (low)"]
+    best = by_series["combined (best)"]
+    overall = by_series["combined (all)"]
+    ttl_lazyish = by_series["TTL"] if "TTL" in by_series else None
+    ttl_rows = [r for r in rows if r["series"] == "TTL"]
+    cheapest_ttl = min(ttl_rows, key=lambda r: r["payload_per_msg"])
+
+    # Paper: regular nodes 1.01-1.20 payload/msg.
+    assert low["payload_per_msg"] == pytest.approx(1.1, abs=0.25)
+    # Paper: hubs ~10.77, overall ~3.11.
+    assert best["payload_per_msg"] == pytest.approx(10.0, abs=1.5)
+    assert overall["payload_per_msg"] == pytest.approx(3.0, abs=0.7)
+    # Latency win for regular nodes over the equal-cost TTL point.
+    assert low["latency_ms"] < cheapest_ttl["latency_ms"]
+    # Reliability untouched.
+    assert all(row["delivery_pct"] > 99.0 for row in rows)

@@ -1,0 +1,69 @@
+"""Replicated-experiment tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.replication import run_replicated
+from repro.experiments.runner import ExperimentSpec
+from repro.experiments.scenarios import flat_factory
+from repro.experiments.workload import TrafficConfig
+from repro.gossip.config import GossipConfig
+from repro.runtime.cluster import ClusterConfig
+from repro.topology.simple import complete_topology
+
+
+def spec(factory, seed=5):
+    return ExperimentSpec(
+        strategy_factory=factory,
+        cluster=ClusterConfig(gossip=GossipConfig(fanout=4, rounds=4)),
+        traffic=TrafficConfig(messages=8, mean_interval_ms=100.0),
+        warmup_ms=1_500.0,
+        drain_ms=2_000.0,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def model():
+    return complete_topology(12, latency_ms=20.0, jitter_ms=5.0, seed=9)
+
+
+def test_intervals_cover_all_metrics(model):
+    result = run_replicated(model, spec(flat_factory(1.0)), replications=3)
+    assert result.replications == 3
+    assert set(result.intervals) == {
+        "mean_latency_ms",
+        "payload_per_delivery",
+        "delivery_ratio",
+        "top_link_share",
+    }
+    assert result.mean("delivery_ratio") == pytest.approx(1.0, abs=0.02)
+    assert result.half_width("mean_latency_ms") >= 0.0
+
+
+def test_replicated_study_is_reproducible(model):
+    a = run_replicated(model, spec(flat_factory(0.5)), replications=3)
+    b = run_replicated(model, spec(flat_factory(0.5)), replications=3)
+    assert a.intervals == b.intervals
+
+
+def test_eager_vs_lazy_difference_is_significant(model):
+    """The paper's relevance criterion separates the extremes easily."""
+    eager = run_replicated(model, spec(flat_factory(1.0)), replications=3)
+    lazy = run_replicated(model, spec(flat_factory(0.0)), replications=3)
+    assert eager.differs_from(lazy, "mean_latency_ms")
+    assert eager.differs_from(lazy, "payload_per_delivery")
+    # And a configuration does not "differ" from itself.
+    assert not eager.differs_from(eager, "mean_latency_ms")
+
+
+def test_row_rendering(model):
+    result = run_replicated(model, spec(flat_factory(1.0)), replications=2)
+    row = result.row()
+    assert "±" in row["mean_latency_ms"]
+
+
+def test_requires_two_replications(model):
+    with pytest.raises(ValueError):
+        run_replicated(model, spec(flat_factory(1.0)), replications=1)

@@ -1,0 +1,56 @@
+"""Table rendering tests."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_table
+
+
+def test_renders_aligned_columns():
+    rows = [
+        {"series": "flat", "latency_ms": 123.456, "n": 3},
+        {"series": "ranked", "latency_ms": 99.0, "n": 12},
+    ]
+    text = format_table(rows)
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert "series" in lines[0] and "latency_ms" in lines[0]
+    assert "123.46" in lines[2]
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+def test_column_selection_and_missing_values():
+    rows = [{"a": 1, "b": 2}, {"a": 3}]
+    text = format_table(rows, columns=["b", "a"])
+    header = text.splitlines()[0]
+    assert header.index("b") < header.index("a")
+
+
+def test_nan_and_empty():
+    assert format_table([]) == "(no rows)"
+    text = format_table([{"x": float("nan")}])
+    assert "nan" in text
+
+
+def test_ascii_scatter_places_extremes():
+    from repro.experiments.reporting import ascii_scatter
+
+    rows = [
+        {"series": "flat", "payload": 1.0, "latency": 300.0},
+        {"series": "flat", "payload": 11.0, "latency": 100.0},
+        {"series": "ttl", "payload": 1.7, "latency": 150.0},
+    ]
+    plot = ascii_scatter(rows, x="payload", y="latency")
+    assert "A=flat" in plot and "B=ttl" in plot
+    assert "x: payload, y: latency" in plot
+    lines = plot.splitlines()
+    # Max-y point (flat @ 300) sits on the top row; min-y on the bottom.
+    assert "A" in lines[0]
+    assert "300" in lines[0]
+
+
+def test_ascii_scatter_handles_nan_and_empty():
+    from repro.experiments.reporting import ascii_scatter
+
+    assert ascii_scatter([], x="a", y="b") == "(no points)"
+    rows = [{"series": "s", "a": float("nan"), "b": 1.0}]
+    assert ascii_scatter(rows, x="a", y="b") == "(no points)"

@@ -1,0 +1,66 @@
+"""Throughput-stability experiment tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.stability import (
+    gossip_timeline,
+    steady_rate,
+    tree_timeline,
+)
+from repro.topology.simple import complete_topology
+
+
+@pytest.fixture(scope="module")
+def model():
+    return complete_topology(16, latency_ms=15.0, seed=8)
+
+
+def test_gossip_timeline_without_failure_is_steady(model):
+    timeline = gossip_timeline(
+        model, messages=20, interval_ms=250.0, window_ms=1_000.0,
+        warmup_ms=2_000.0,
+    )
+    # Traffic spans t=2s..7s: windows 2..6 each carry ~4 msgs x 16 nodes.
+    rates = [timeline.get(w, 0) for w in range(2, 7)]
+    assert all(rate > 40 for rate in rates)
+
+
+def test_gossip_timeline_drops_by_dead_share(model):
+    timeline = gossip_timeline(
+        model, messages=32, interval_ms=250.0, window_ms=1_000.0,
+        warmup_ms=2_000.0, failure_at_ms=5_000.0, failed_fraction=0.25,
+    )
+    before = steady_rate(timeline, [3, 4])
+    after = steady_rate(timeline, [6, 7, 8])
+    assert after == pytest.approx(before * 0.75, rel=0.15)
+
+
+def test_tree_timeline_loses_more_than_dead_share(model):
+    no_failure = tree_timeline(
+        model, messages=32, interval_ms=250.0, window_ms=1_000.0,
+    )
+    broken = tree_timeline(
+        model, messages=32, interval_ms=250.0, window_ms=1_000.0,
+        failure_at_ms=3_000.0, failed_fraction=0.25,
+    )
+    healthy_rate = steady_rate(no_failure, [4, 5, 6])
+    broken_rate = steady_rate(broken, [4, 5, 6])
+    assert broken_rate < healthy_rate * 0.75
+
+
+def test_tree_repair_restores_rate(model):
+    repaired = tree_timeline(
+        model, messages=32, interval_ms=250.0, window_ms=1_000.0,
+        failure_at_ms=3_000.0, failed_fraction=0.25, repair_after_ms=2_000.0,
+    )
+    broken_phase = steady_rate(repaired, [3, 4])
+    repaired_phase = steady_rate(repaired, [6, 7])
+    assert repaired_phase > broken_phase
+
+
+def test_steady_rate_helper():
+    assert steady_rate({1: 10, 2: 20}, [1, 2]) == 15.0
+    assert steady_rate({}, []) == 0.0
+    assert steady_rate({5: 8}, [4, 5]) == 4.0

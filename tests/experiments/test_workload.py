@@ -1,0 +1,71 @@
+"""Traffic generator tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workload import TrafficConfig, TrafficGenerator
+from repro.strategies.flat import PureLazyStrategy
+from repro.topology.simple import complete_topology
+from tests.conftest import build_cluster
+
+
+def make(n=5, messages=12, mean_interval=50.0):
+    model = complete_topology(n, latency_ms=5.0)
+    cluster, recorder = build_cluster(model, lambda ctx: PureLazyStrategy())
+    generator = TrafficGenerator(
+        cluster,
+        senders=list(range(n)),
+        config=TrafficConfig(messages=messages, mean_interval_ms=mean_interval),
+    )
+    return cluster, recorder, generator
+
+
+def test_sends_exactly_configured_messages():
+    cluster, recorder, generator = make(messages=12)
+    generator.start()
+    cluster.sim.run(until=60_000.0)
+    assert generator.finished
+    assert generator.sent == 12
+    assert recorder.message_count == 12
+
+
+def test_round_robin_senders():
+    cluster, recorder, generator = make(n=5, messages=10)
+    generator.start()
+    cluster.sim.run(until=60_000.0)
+    origins = [recorder.origin_of(mid) for mid in generator.message_ids]
+    assert origins == [0, 1, 2, 3, 4, 0, 1, 2, 3, 4]
+
+
+def test_intervals_are_bounded_by_twice_mean():
+    cluster, _, generator = make(messages=40, mean_interval=50.0)
+    times = []
+    original = generator._tick
+
+    def spy():
+        times.append(cluster.sim.now)
+        original()
+
+    generator._tick = spy
+    generator.start()
+    cluster.sim.run(until=60_000.0)
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(0.0 <= gap <= 100.0 for gap in gaps)
+    mean_gap = sum(gaps) / len(gaps)
+    assert 30.0 <= mean_gap <= 70.0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TrafficConfig(messages=0)
+    with pytest.raises(ValueError):
+        TrafficConfig(mean_interval_ms=0.0)
+    cluster, _, _ = make()
+    with pytest.raises(ValueError):
+        TrafficGenerator(cluster, senders=[])
+
+
+def test_expected_duration():
+    config = TrafficConfig(messages=400, mean_interval_ms=500.0)
+    assert config.expected_duration_ms == 200_000.0

@@ -1,0 +1,84 @@
+"""Churn process tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.failures.churn import ChurnConfig, ChurnProcess
+from repro.gossip.config import GossipConfig
+from repro.strategies.flat import PureEagerStrategy
+from repro.topology.simple import complete_topology
+from tests.conftest import build_cluster
+
+
+def make_cluster(n=20):
+    model = complete_topology(n, latency_ms=10.0)
+    return build_cluster(
+        model,
+        lambda ctx: PureEagerStrategy(),
+        gossip=GossipConfig(fanout=6, rounds=4),
+    )
+
+
+def test_dead_set_converges_to_target():
+    cluster, _ = make_cluster(20)
+    churn = ChurnProcess(cluster, ChurnConfig(interval_ms=100.0,
+                                              target_dead_fraction=0.2))
+    churn.start()
+    cluster.run_for(5_000.0)
+    churn.stop()
+    assert len(churn.dead_nodes) == 4
+    assert churn.kills > 4  # membership rotated, not just filled
+
+
+def test_dead_set_rotates_over_time():
+    cluster, _ = make_cluster(20)
+    churn = ChurnProcess(cluster, ChurnConfig(interval_ms=100.0,
+                                              target_dead_fraction=0.2))
+    churn.start()
+    cluster.run_for(2_000.0)
+    first = set(churn.dead_nodes)
+    cluster.run_for(10_000.0)
+    churn.stop()
+    assert set(churn.dead_nodes) != first
+    assert churn.revivals > 0
+
+
+def test_zero_target_keeps_everyone_alive():
+    cluster, _ = make_cluster(10)
+    churn = ChurnProcess(cluster, ChurnConfig(interval_ms=100.0,
+                                              target_dead_fraction=0.0))
+    churn.start()
+    cluster.run_for(3_000.0)
+    churn.stop()
+    assert churn.dead_nodes == []
+
+
+def test_gossip_survives_steady_churn():
+    """Multicasts delivered to (nearly) all alive nodes while 10% of the
+    population churns continuously."""
+    cluster, recorder = make_cluster(20)
+    churn = ChurnProcess(cluster, ChurnConfig(interval_ms=500.0,
+                                              target_dead_fraction=0.1))
+    cluster.start()
+    churn.start()
+    cluster.run_for(3_000.0)
+    mids = []
+    for index in range(8):
+        alive = cluster.alive_nodes
+        mids.append(cluster.multicast(alive[index % len(alive)], ("m", index)))
+        cluster.run_for(500.0)
+    cluster.run_for(5_000.0)
+    churn.stop()
+    cluster.stop()
+    # Each message must reach the great majority of the group; nodes dead
+    # at transmission time legitimately miss messages.
+    for mid in mids:
+        assert len(recorder.deliveries[mid]) >= 17
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ChurnConfig(interval_ms=0.0)
+    with pytest.raises(ValueError):
+        ChurnConfig(target_dead_fraction=1.0)

@@ -1,0 +1,103 @@
+"""Analytic epidemic dynamics tests, including validation against the
+actual simulated protocol."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.gossip.analysis import (
+    expected_coverage,
+    infection_trajectory,
+    mean_receipt_round,
+    rounds_to_coverage,
+)
+
+
+def test_trajectory_shape():
+    trajectory = infection_trajectory(nodes=100, fanout=5, rounds=6)
+    assert trajectory[0] == 1.0
+    assert trajectory == sorted(trajectory)  # monotone growth
+    assert trajectory[-1] <= 100.0
+    assert trajectory[-1] / 100.0 > 0.999  # fanout 5 saturates quickly
+
+
+def test_single_node_group():
+    assert infection_trajectory(1, 5, 4) == [1.0] * 5
+    assert expected_coverage(1, 5, 0) == 1.0
+
+
+def test_higher_fanout_spreads_faster():
+    slow = infection_trajectory(200, 2, 5)
+    fast = infection_trajectory(200, 10, 5)
+    for s, f in zip(slow[1:], fast[1:]):
+        assert f > s
+
+
+def test_loss_slows_the_epidemic():
+    clean = infection_trajectory(200, 5, 4)
+    lossy = infection_trajectory(200, 5, 4, loss_probability=0.4)
+    assert lossy[-1] < clean[-1]
+
+
+def test_rounds_to_coverage():
+    quick = rounds_to_coverage(100, 11, target=0.99)
+    slow = rounds_to_coverage(100, 2, target=0.99)
+    assert quick < slow
+    # Below-threshold effective fanout never reaches the target.
+    assert rounds_to_coverage(10_000, 1, target=0.999, loss_probability=0.5,
+                              max_rounds=20) == 20
+
+
+def test_mean_receipt_round_reasonable():
+    value = mean_receipt_round(100, 11, rounds=5)
+    # fanout 11 over 100 nodes saturates in ~2 rounds.
+    assert 1.0 < value < 3.0
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        infection_trajectory(0, 5, 3)
+    with pytest.raises(ValueError):
+        infection_trajectory(10, 5, 3, loss_probability=1.0)
+    with pytest.raises(ValueError):
+        rounds_to_coverage(10, 5, target=0.0)
+
+
+def test_theory_matches_simulation():
+    """The mean-field recursion predicts the simulated protocol's
+    receipt-round histogram within a modest tolerance."""
+    from repro.gossip.config import GossipConfig
+    from repro.runtime.cluster import Cluster, ClusterConfig
+    from repro.strategies.flat import PureEagerStrategy
+    from repro.topology.simple import complete_topology
+
+    nodes, fanout, rounds = 40, 5, 5
+    model = complete_topology(nodes, latency_ms=10.0)
+    cluster = Cluster(
+        model,
+        lambda ctx: PureEagerStrategy(),
+        config=ClusterConfig(
+            overlay=None,  # oracle sampling: the recursion's assumption
+            gossip=GossipConfig(fanout=fanout, rounds=rounds),
+        ),
+        seed=13,
+    )
+    messages = 20
+    for index in range(messages):
+        cluster.multicast(index % nodes, ("m", index))
+        cluster.run_for(2_000.0)
+
+    histogram = Counter()
+    for node in cluster.nodes:
+        histogram.update(node.gossip.receipt_rounds)
+    simulated_mean = sum(r * c for r, c in histogram.items()) / sum(
+        histogram.values()
+    )
+    predicted_mean = mean_receipt_round(nodes, fanout, rounds)
+    assert simulated_mean == pytest.approx(predicted_mean, abs=0.35)
+
+    simulated_coverage = sum(histogram.values()) / (messages * nodes)
+    predicted_coverage = expected_coverage(nodes, fanout, rounds)
+    assert simulated_coverage == pytest.approx(predicted_coverage, abs=0.02)

@@ -1,0 +1,33 @@
+"""Message identifier tests."""
+
+from __future__ import annotations
+
+import random
+
+from repro.gossip.message_ids import MESSAGE_ID_BITS, MessageIdSource
+
+
+def test_ids_are_128_bit():
+    assert MESSAGE_ID_BITS == 128
+    source = MessageIdSource(random.Random(1))
+    for _ in range(100):
+        assert 0 <= source.next_id() < 2**128
+
+
+def test_ids_unique_in_practice():
+    source = MessageIdSource(random.Random(2))
+    ids = [source.next_id() for _ in range(10_000)]
+    assert len(set(ids)) == len(ids)
+    assert source.generated == 10_000
+
+
+def test_deterministic_per_stream():
+    a = MessageIdSource(random.Random(7))
+    b = MessageIdSource(random.Random(7))
+    assert [a.next_id() for _ in range(5)] == [b.next_id() for _ in range(5)]
+
+
+def test_distinct_streams_differ():
+    a = MessageIdSource(random.Random(1))
+    b = MessageIdSource(random.Random(2))
+    assert a.next_id() != b.next_id()

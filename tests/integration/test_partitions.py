@@ -1,0 +1,118 @@
+"""Network partition behaviour (fabric feature + protocol reaction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gossip.config import GossipConfig
+from repro.network.fabric import FabricConfig, NetworkFabric
+from repro.network.message import Packet
+from repro.sim.engine import Simulator
+from repro.strategies.flat import PureEagerStrategy, PureLazyStrategy
+from repro.topology.routing import ClientNetworkModel
+from repro.topology.simple import complete_topology
+from tests.conftest import build_cluster
+
+
+def test_fabric_blocks_cross_partition_traffic():
+    sim = Simulator(seed=1)
+    model = ClientNetworkModel.uniform(4, latency_ms=10.0)
+    fabric = NetworkFabric(sim, model, FabricConfig(bandwidth_bytes_per_ms=None))
+    got = []
+    for node in range(4):
+        fabric.register(node, lambda p, node=node: got.append((node, p.src)))
+    fabric.partition([[0, 1], [2, 3]])
+    assert fabric.partitioned
+    assert fabric.can_communicate(0, 1)
+    assert not fabric.can_communicate(1, 2)
+    fabric.send(Packet(src=0, dst=1, kind="MSG", payload=None, size_bytes=10))
+    fabric.send(Packet(src=0, dst=2, kind="MSG", payload=None, size_bytes=10))
+    sim.run()
+    assert got == [(1, 0)]
+
+
+def test_partition_drops_in_flight_packets():
+    sim = Simulator(seed=1)
+    model = ClientNetworkModel.uniform(4, latency_ms=50.0)
+    fabric = NetworkFabric(sim, model, FabricConfig(bandwidth_bytes_per_ms=None))
+    got = []
+    for node in range(4):
+        fabric.register(node, lambda p: got.append(p.src))
+    fabric.send(Packet(src=0, dst=2, kind="MSG", payload=None, size_bytes=10))
+    sim.run(until=10.0)
+    fabric.partition([[0, 1], [2, 3]])
+    sim.run()
+    assert got == []
+
+
+def test_heal_restores_traffic():
+    sim = Simulator(seed=1)
+    model = ClientNetworkModel.uniform(4, latency_ms=10.0)
+    fabric = NetworkFabric(sim, model, FabricConfig(bandwidth_bytes_per_ms=None))
+    got = []
+    for node in range(4):
+        fabric.register(node, lambda p: got.append(p.src))
+    fabric.partition([[0, 1], [2, 3]])
+    fabric.heal()
+    assert not fabric.partitioned
+    fabric.send(Packet(src=0, dst=2, kind="MSG", payload=None, size_bytes=10))
+    sim.run()
+    assert got == [0]
+
+
+def test_partition_validation():
+    sim = Simulator(seed=1)
+    model = ClientNetworkModel.uniform(4, latency_ms=10.0)
+    fabric = NetworkFabric(sim, model, FabricConfig())
+    with pytest.raises(ValueError):
+        fabric.partition([[0, 1], [1, 2, 3]])  # duplicate
+    with pytest.raises(ValueError):
+        fabric.partition([[0, 1], [2]])  # node 3 unassigned
+    with pytest.raises(ValueError):
+        fabric.partition([[0, 1, 2, 9]])  # unknown node
+
+
+def test_gossip_respects_partition_and_recovers_after_heal():
+    """During a partition each side is its own epidemic domain; new
+    messages after healing reach everyone again."""
+    model = complete_topology(12, latency_ms=10.0)
+    cluster, recorder = build_cluster(
+        model,
+        lambda ctx: PureEagerStrategy(),
+        gossip=GossipConfig(fanout=5, rounds=4),
+    )
+    cluster.start()
+    cluster.run_for(3_000.0)
+    side_a = list(range(6))
+    side_b = list(range(6, 12))
+    cluster.fabric.partition([side_a, side_b])
+
+    mid_a = cluster.multicast(0, "from-a")
+    cluster.run_for(4_000.0)
+    delivered = set(recorder.deliveries[mid_a])
+    assert delivered <= set(side_a)
+    assert 0 in delivered
+
+    cluster.fabric.heal()
+    cluster.run_for(1_000.0)
+    mid_after = cluster.multicast(0, "post-heal")
+    cluster.run_for(4_000.0)
+    cluster.stop()
+    assert len(recorder.deliveries[mid_after]) == 12
+
+
+def test_lazy_push_cannot_cross_partition_either():
+    """IHAVE/IWANT control traffic is cut the same as payload."""
+    model = complete_topology(10, latency_ms=10.0)
+    cluster, recorder = build_cluster(
+        model,
+        lambda ctx: PureLazyStrategy(),
+        gossip=GossipConfig(fanout=4, rounds=4),
+    )
+    cluster.start()
+    cluster.run_for(3_000.0)
+    cluster.fabric.partition([[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]])
+    mid = cluster.multicast(7, "isolated")
+    cluster.run_for(6_000.0)
+    cluster.stop()
+    assert set(recorder.deliveries[mid]) <= {5, 6, 7, 8, 9}

@@ -1,0 +1,45 @@
+"""Oracle peer sampler tests."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.membership.oracle import OraclePeerSampler
+
+
+def test_sample_excludes_owner_and_is_distinct():
+    sampler = OraclePeerSampler(2, range(10), random.Random(1))
+    for _ in range(50):
+        sample = sampler.sample(4)
+        assert len(sample) == 4
+        assert len(set(sample)) == 4
+        assert 2 not in sample
+
+
+def test_oversized_fanout_returns_everyone():
+    sampler = OraclePeerSampler(0, range(5), random.Random(1))
+    assert sorted(sampler.sample(100)) == [1, 2, 3, 4]
+
+
+def test_neighbors_is_whole_population():
+    sampler = OraclePeerSampler(1, range(6), random.Random(1))
+    assert sorted(sampler.neighbors()) == [0, 2, 3, 4, 5]
+
+
+def test_sampling_is_roughly_uniform():
+    sampler = OraclePeerSampler(0, range(11), random.Random(7))
+    counts = Counter()
+    draws = 4000
+    for _ in range(draws):
+        counts.update(sampler.sample(2))
+    expected = draws * 2 / 10
+    for peer in range(1, 11):
+        assert abs(counts[peer] - expected) < expected * 0.2
+
+
+def test_requires_other_nodes():
+    with pytest.raises(ValueError):
+        OraclePeerSampler(0, [0], random.Random(1))

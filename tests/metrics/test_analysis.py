@@ -1,0 +1,90 @@
+"""Run-summary analysis tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.analysis import (
+    class_latency,
+    class_payload_rates,
+    class_received_rates,
+    summarize,
+)
+from repro.metrics.recorder import MetricsRecorder
+from repro.network.message import Packet
+
+
+def msg(src, dst):
+    return Packet(src=src, dst=dst, kind="MSG", payload=None, size_bytes=320)
+
+
+def scripted_run() -> MetricsRecorder:
+    """Two messages over three nodes with known timings.
+
+    msg A from node 0 at t=0: delivered by 1 at 50, by 2 at 70.
+    msg B from node 1 at t=100: delivered by 0 at 140, by 2 at 160.
+    Payload transmissions: 0->1, 0->2, 0->2 (dup), 1->0, 1->2.
+    """
+    rec = MetricsRecorder()
+    rec.on_multicast(1001, 0, 0.0)
+    rec.on_app_deliver(0, 1001, 0.0)  # origin's own delivery
+    rec.on_app_deliver(1, 1001, 50.0)
+    rec.on_app_deliver(2, 1001, 70.0)
+    rec.on_multicast(1002, 1, 100.0)
+    rec.on_app_deliver(1, 1002, 100.0)
+    rec.on_app_deliver(0, 1002, 140.0)
+    rec.on_app_deliver(2, 1002, 160.0)
+    for src, dst in [(0, 1), (0, 2), (0, 2), (1, 0), (1, 2)]:
+        packet = msg(src, dst)
+        rec.on_send(packet, 0.0)
+        rec.on_deliver(packet, 1.0)
+    rec.on_send(Packet(src=0, dst=1, kind="IHAVE", payload=None, size_bytes=80), 0.0)
+    return rec
+
+
+def test_summary_headline_numbers():
+    summary = summarize(scripted_run(), expected_receivers=3)
+    assert summary.messages == 2
+    assert summary.deliveries == 6
+    assert summary.delivery_ratio == pytest.approx(1.0)
+    # Latencies exclude origin deliveries: 50, 70, 40, 60.
+    assert summary.mean_latency_ms == pytest.approx(55.0)
+    assert summary.median_latency_ms == pytest.approx(55.0)
+    assert summary.payload_transmissions == 5
+    assert summary.payload_per_delivery == pytest.approx(5 / 6)
+    assert summary.control_packets == 1
+    assert summary.total_bytes == 5 * 320 + 80
+
+
+def test_summary_row_shape():
+    row = summarize(scripted_run(), expected_receivers=3).row()
+    assert set(row) == {"latency_ms", "payload_per_msg", "delivery_pct", "top5_share_pct"}
+
+
+def test_class_payload_rates():
+    rates = class_payload_rates(scripted_run(), {"a": [0], "bc": [1, 2]})
+    assert rates["a"] == pytest.approx(3 / 2)  # node 0 sent 3 over 2 messages
+    assert rates["bc"] == pytest.approx(2 / (2 * 2))
+
+
+def test_class_received_rates():
+    rates = class_received_rates(scripted_run(), {"two": [2], "others": [0, 1]})
+    assert rates["two"] == pytest.approx(3 / 2)
+    assert rates["others"] == pytest.approx(2 / 4)
+
+
+def test_class_latency():
+    mean, _ = class_latency(scripted_run(), nodes=[2])
+    assert mean == pytest.approx(65.0)
+    empty_mean, _ = class_latency(scripted_run(), nodes=[])
+    assert empty_mean != empty_mean  # NaN
+
+
+def test_empty_classes_are_zero():
+    rates = class_payload_rates(scripted_run(), {"none": []})
+    assert rates["none"] == 0.0
+
+
+def test_summary_validates_receivers():
+    with pytest.raises(ValueError):
+        summarize(MetricsRecorder(), expected_receivers=0)

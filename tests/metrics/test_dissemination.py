@@ -1,0 +1,125 @@
+"""Dissemination-tree tracking tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.dissemination import DisseminationTracker, ObserverChain
+from repro.network.message import Packet
+
+
+def msg_packet(src, dst, message_id):
+    return Packet(
+        src=src, dst=dst, kind="MSG",
+        payload=(message_id, "data", 1), size_bytes=320,
+    )
+
+
+def scripted_tracker():
+    """Message 7 rooted at 0: 0->1, 0->2, 1->3; a late duplicate 2->3."""
+    tracker = DisseminationTracker()
+    tracker.on_multicast(7, 0, 0.0)
+    tracker.on_deliver(msg_packet(0, 1, 7), 10.0)
+    tracker.on_deliver(msg_packet(0, 2, 7), 12.0)
+    tracker.on_deliver(msg_packet(1, 3, 7), 20.0)
+    tracker.on_deliver(msg_packet(2, 3, 7), 25.0)  # duplicate: ignored
+    return tracker
+
+
+def test_first_payload_arrival_defines_parent():
+    tracker = scripted_tracker()
+    assert tracker.tree_edges(7) == [(0, 1), (0, 2), (1, 3)]
+
+
+def test_root_never_gets_a_parent_edge():
+    tracker = scripted_tracker()
+    tracker.on_deliver(msg_packet(3, 0, 7), 50.0)  # dup back to the root
+    assert (3, 0) not in tracker.tree_edges(7)
+
+
+def test_depth_histogram_and_mean():
+    tracker = scripted_tracker()
+    assert tracker.depth_histogram(7) == {0: 1, 1: 2, 2: 1}
+    assert tracker.mean_depth(7) == pytest.approx(1.0)
+
+
+def test_non_payload_and_foreign_packets_ignored():
+    tracker = DisseminationTracker()
+    tracker.on_multicast(7, 0, 0.0)
+    tracker.on_deliver(
+        Packet(src=0, dst=1, kind="IHAVE", payload=7, size_bytes=80), 1.0
+    )
+    tracker.on_deliver(
+        Packet(src=0, dst=1, kind="MSG", payload="not-a-tuple", size_bytes=80), 1.0
+    )
+    assert tracker.tree_edges(7) == []
+
+
+def test_edge_stability_identical_trees():
+    tracker = DisseminationTracker()
+    for message_id in (1, 2, 3):
+        tracker.on_multicast(message_id, 0, 0.0)
+        tracker.on_deliver(msg_packet(0, 1, message_id), 1.0)
+        tracker.on_deliver(msg_packet(1, 2, message_id), 2.0)
+    assert tracker.edge_stability() == pytest.approx(1.0)
+
+
+def test_edge_stability_disjoint_trees():
+    tracker = DisseminationTracker()
+    tracker.on_multicast(1, 0, 0.0)
+    tracker.on_deliver(msg_packet(0, 1, 1), 1.0)
+    tracker.on_multicast(2, 0, 0.0)
+    tracker.on_deliver(msg_packet(0, 2, 2), 1.0)
+    assert tracker.edge_stability() == pytest.approx(0.0)
+
+
+def test_edge_stability_counts_reversed_edges_as_same_link():
+    tracker = DisseminationTracker()
+    tracker.on_multicast(1, 0, 0.0)
+    tracker.on_deliver(msg_packet(0, 1, 1), 1.0)
+    tracker.on_multicast(2, 1, 0.0)
+    tracker.on_deliver(msg_packet(1, 0, 2), 1.0)
+    assert tracker.edge_stability() == pytest.approx(1.0)
+
+
+def test_edge_usage_counts():
+    tracker = DisseminationTracker()
+    for message_id in (1, 2):
+        tracker.on_multicast(message_id, 0, 0.0)
+        tracker.on_deliver(msg_packet(0, 1, message_id), 1.0)
+    counts = tracker.edge_usage_counts()
+    assert counts[frozenset((0, 1))] == 2
+
+
+def test_stability_needs_two_messages():
+    tracker = scripted_tracker()
+    value = tracker.edge_stability([7])
+    assert value != value  # NaN
+
+
+def test_observer_chain_fans_out():
+    events = []
+
+    class Probe:
+        def __init__(self, tag):
+            self.tag = tag
+
+        def on_send(self, packet, now):
+            events.append((self.tag, "send"))
+
+        def on_deliver(self, packet, now):
+            events.append((self.tag, "deliver"))
+
+        def on_drop(self, packet, now, reason):
+            events.append((self.tag, "drop", reason))
+
+    chain = ObserverChain([Probe("a"), Probe("b")])
+    packet = msg_packet(0, 1, 9)
+    chain.on_send(packet, 0.0)
+    chain.on_deliver(packet, 1.0)
+    chain.on_drop(packet, 2.0, "loss")
+    assert events == [
+        ("a", "send"), ("b", "send"),
+        ("a", "deliver"), ("b", "deliver"),
+        ("a", "drop", "loss"), ("b", "drop", "loss"),
+    ]

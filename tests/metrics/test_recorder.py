@@ -1,0 +1,69 @@
+"""Metrics recorder tests."""
+
+from __future__ import annotations
+
+from repro.metrics.recorder import MetricsRecorder
+from repro.network.message import Packet
+
+
+def msg(src=0, dst=1, kind="MSG", size=320):
+    return Packet(src=src, dst=dst, kind=kind, payload=None, size_bytes=size)
+
+
+def test_payload_counters():
+    recorder = MetricsRecorder()
+    recorder.on_send(msg(0, 1), 1.0)
+    recorder.on_send(msg(0, 1), 2.0)
+    recorder.on_send(msg(2, 1), 3.0)
+    recorder.on_send(msg(0, 1, kind="IHAVE", size=80), 4.0)
+    assert recorder.payload_transmissions == 3
+    assert recorder.link_payload_counts[(0, 1)] == 2
+    assert recorder.link_payload_counts[(2, 1)] == 1
+    assert recorder.node_payload_sent[0] == 2
+    assert recorder.sent_packets["IHAVE"] == 1
+    assert recorder.sent_bytes["MSG"] == 960
+
+
+def test_received_payload_counter():
+    recorder = MetricsRecorder()
+    recorder.on_deliver(msg(0, 1), 1.0)
+    recorder.on_deliver(msg(2, 1), 2.0)
+    recorder.on_deliver(msg(0, 1, kind="IWANT", size=80), 2.0)
+    assert recorder.node_payload_received[1] == 2
+
+
+def test_gating_excludes_warmup_traffic():
+    recorder = MetricsRecorder()
+    recorder.disable()
+    recorder.on_send(msg(), 1.0)
+    recorder.on_multicast(1, 0, 1.0)
+    recorder.enable()
+    recorder.on_send(msg(), 2.0)
+    assert recorder.payload_transmissions == 1
+    assert recorder.message_count == 0  # warm-up multicast not recorded
+
+
+def test_delivery_bookkeeping():
+    recorder = MetricsRecorder()
+    recorder.on_multicast(101, origin=3, now=10.0)
+    recorder.on_app_deliver(4, 101, 25.0)
+    recorder.on_app_deliver(5, 101, 30.0)
+    recorder.on_app_deliver(4, 101, 99.0)  # duplicate: first kept
+    assert recorder.delivery_count == 2
+    assert recorder.deliveries[101][4] == 25.0
+    assert recorder.origin_of(101) == 3
+
+
+def test_unknown_message_deliveries_ignored():
+    recorder = MetricsRecorder()
+    recorder.on_app_deliver(4, 999, 25.0)
+    assert recorder.delivery_count == 0
+
+
+def test_drop_reasons_counted():
+    recorder = MetricsRecorder()
+    recorder.on_drop(msg(), 1.0, "loss")
+    recorder.on_drop(msg(), 2.0, "loss")
+    recorder.on_drop(msg(), 3.0, "receiver-silenced")
+    assert recorder.dropped_packets["loss"] == 2
+    assert recorder.dropped_packets["receiver-silenced"] == 1

@@ -1,0 +1,66 @@
+"""Delivery-timeline analysis tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.recorder import MetricsRecorder
+from repro.metrics.timeline import (
+    completion_curve,
+    completion_times,
+    throughput_over_time,
+)
+
+
+def scripted() -> MetricsRecorder:
+    """One message to 4 receivers at offsets 10, 20, 30, 40; a second
+    message reaching only 2 of 4."""
+    rec = MetricsRecorder()
+    rec.on_multicast(1, 0, 100.0)
+    for node, offset in ((0, 10.0), (1, 20.0), (2, 30.0), (3, 40.0)):
+        rec.on_app_deliver(node, 1, 100.0 + offset)
+    rec.on_multicast(2, 1, 500.0)
+    rec.on_app_deliver(1, 2, 510.0)
+    rec.on_app_deliver(2, 2, 530.0)
+    return rec
+
+
+def test_completion_times_full_fraction():
+    times = completion_times(scripted(), expected_receivers=4, fraction=1.0)
+    assert times == {1: 40.0}  # message 2 never completes
+
+
+def test_completion_times_half_fraction():
+    times = completion_times(scripted(), expected_receivers=4, fraction=0.5)
+    assert times == {1: 20.0, 2: 530.0 - 500.0}
+
+
+def test_completion_curve_monotone():
+    curve = completion_curve(scripted(), 4, [5.0, 15.0, 25.0, 45.0])
+    assert curve == sorted(curve)
+    assert curve[0] == 0.0
+    # At +45ms: message 1 fully delivered (1.0), message 2 half (0.5).
+    assert curve[-1] == pytest.approx((1.0 + 0.5) / 2)
+
+
+def test_throughput_over_time_buckets():
+    buckets = throughput_over_time(scripted(), window_ms=100.0)
+    assert buckets[1] == 4  # 110..140
+    assert buckets[5] == 2  # 510, 530
+
+
+def test_validation():
+    rec = scripted()
+    with pytest.raises(ValueError):
+        completion_times(rec, 4, fraction=0.0)
+    with pytest.raises(ValueError):
+        completion_curve(rec, 0, [1.0])
+    with pytest.raises(ValueError):
+        throughput_over_time(rec, 0.0)
+
+
+def test_empty_recorder():
+    rec = MetricsRecorder()
+    assert completion_times(rec, 4) == {}
+    assert completion_curve(rec, 4, [10.0]) == [0.0]
+    assert throughput_over_time(rec, 100.0) == {}

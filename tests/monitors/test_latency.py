@@ -1,0 +1,164 @@
+"""Runtime latency monitor (PING/PONG + EWMA) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitors.latency import (
+    SRTT_ALPHA,
+    LatencyMonitorConfig,
+    RuntimeLatencyMonitor,
+)
+from repro.network.fabric import FabricConfig, NetworkFabric
+from repro.network.transport import DatagramTransport
+from repro.sim.engine import Simulator
+from repro.topology.simple import complete_topology
+
+
+def build_monitored_pair(n=4, latency=25.0, jitter=0.0, seed=3):
+    sim = Simulator(seed=seed)
+    model = complete_topology(n, latency_ms=latency, jitter_ms=jitter, seed=seed)
+    fabric = NetworkFabric(sim, model, FabricConfig(bandwidth_bytes_per_ms=None))
+    transport = DatagramTransport(fabric)
+    monitors = []
+    for node in range(n):
+        endpoint = transport.endpoint(node)
+        monitor = RuntimeLatencyMonitor(
+            sim,
+            node,
+            endpoint.send,
+            neighbors=lambda node=node: [p for p in range(n) if p != node],
+            config=LatencyMonitorConfig(probe_period_ms=200.0, probe_jitter_ms=0.0),
+        )
+        endpoint.set_receiver(monitor.handle)
+        monitors.append(monitor)
+    return sim, model, monitors
+
+
+def test_unmeasured_peer_is_infinitely_far():
+    _, _, monitors = build_monitored_pair()
+    assert monitors[0].metric(1) == float("inf")
+    assert monitors[0].metric(0) == 0.0
+
+
+def test_probes_converge_to_one_way_latency():
+    sim, model, monitors = build_monitored_pair(latency=25.0)
+    for monitor in monitors:
+        monitor.start()
+    sim.run(until=10_000.0)
+    for monitor in monitors:
+        monitor.stop()
+    measured = monitors[0].metric(1)
+    assert measured == pytest.approx(25.0, rel=0.05)
+    assert monitors[0].samples_taken > 0
+
+
+def test_ewma_smoothing_formula():
+    sim, _, monitors = build_monitored_pair()
+    monitor = monitors[0]
+    monitor._record(1, 100.0)
+    monitor._record(1, 200.0)
+    expected = (1 - SRTT_ALPHA) * 100.0 + SRTT_ALPHA * 200.0
+    assert monitor.srtt(1) == pytest.approx(expected)
+
+
+def test_mean_srtt_over_measured_peers():
+    _, _, monitors = build_monitored_pair()
+    monitor = monitors[0]
+    assert monitor.mean_srtt() == float("inf")
+    monitor._record(1, 40.0)
+    monitor._record(2, 60.0)
+    assert monitor.mean_srtt() == pytest.approx(50.0)
+
+
+def test_monitor_tracks_heterogeneous_latencies():
+    sim, model, monitors = build_monitored_pair(n=5, jitter=20.0, seed=9)
+    for monitor in monitors:
+        monitor.start()
+    sim.run(until=20_000.0)
+    monitor = monitors[0]
+    peers = [p for p in range(1, 5)]
+    estimates = {p: monitor.metric(p) for p in peers}
+    truths = {p: model.latency(0, p) for p in peers}
+    # Ordering of peers by estimated latency matches the model.
+    assert sorted(peers, key=estimates.get) == sorted(peers, key=truths.get)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        LatencyMonitorConfig(probe_period_ms=0)
+    with pytest.raises(ValueError):
+        LatencyMonitorConfig(probes_per_tick=0)
+
+
+def test_suspicion_fires_after_threshold_unanswered_probes():
+    sim, model, monitors = build_monitored_pair(n=3)
+    # Rebuild monitor 0 with detection enabled and probe silenced peer 1.
+    from repro.monitors.latency import LatencyMonitorConfig, RuntimeLatencyMonitor
+
+    suspected = []
+    monitor = RuntimeLatencyMonitor(
+        sim,
+        node=0,
+        send=lambda dst, kind, payload, size: None,  # black hole: no PONGs
+        neighbors=lambda: [1],
+        config=LatencyMonitorConfig(
+            probe_period_ms=100.0, probe_jitter_ms=0.0, probes_per_tick=1,
+            suspicion_threshold=3,
+        ),
+    )
+    monitor.on_suspect = suspected.append
+    monitor.start()
+    sim.run(until=1_000.0)
+    monitor.stop()
+    assert suspected == [1]
+    assert 1 in monitor.suspected
+
+
+def test_answered_probes_never_suspect():
+    """A responsive pair keeps probing forever without suspicion."""
+    from repro.monitors.latency import LatencyMonitorConfig, RuntimeLatencyMonitor
+    from repro.network.fabric import FabricConfig, NetworkFabric
+    from repro.network.transport import DatagramTransport
+    from repro.sim.engine import Simulator
+    from repro.topology.simple import complete_topology
+
+    sim = Simulator(seed=4)
+    model = complete_topology(2, latency_ms=10.0)
+    fabric = NetworkFabric(sim, model, FabricConfig(bandwidth_bytes_per_ms=None))
+    transport = DatagramTransport(fabric)
+    config = LatencyMonitorConfig(
+        probe_period_ms=100.0, probe_jitter_ms=0.0, suspicion_threshold=2
+    )
+    suspected = []
+    agents = []
+    for node in range(2):
+        endpoint = transport.endpoint(node)
+        agent = RuntimeLatencyMonitor(
+            sim, node, endpoint.send,
+            neighbors=lambda node=node: [1 - node], config=config,
+        )
+        agent.on_suspect = suspected.append
+        endpoint.set_receiver(agent.handle)
+        agents.append(agent)
+        agent.start()
+    sim.run(until=5_000.0)
+    assert suspected == []
+    assert agents[0].suspected == set()
+
+
+def test_revived_peer_clears_suspicion():
+    from repro.monitors.latency import LatencyMonitorConfig, RuntimeLatencyMonitor
+    from repro.sim.engine import Simulator
+
+    sim = Simulator(seed=5)
+    monitor = RuntimeLatencyMonitor(
+        sim, 0, lambda *a: None, neighbors=lambda: [1],
+        config=LatencyMonitorConfig(suspicion_threshold=2),
+    )
+    monitor._note_probe(1)
+    monitor._note_probe(1)
+    monitor._note_probe(1)
+    assert 1 in monitor.suspected
+    monitor._record(1, 20.0)  # a PONG arrives after all
+    assert 1 not in monitor.suspected

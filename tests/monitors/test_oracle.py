@@ -1,0 +1,29 @@
+"""Oracle monitor tests."""
+
+from __future__ import annotations
+
+from repro.monitors.oracle import OracleDistanceMonitor, OracleLatencyMonitor
+from repro.topology.simple import random_metric_topology
+
+
+def test_latency_monitor_reads_model():
+    model = random_metric_topology(6, seed=1)
+    monitor = OracleLatencyMonitor(model, node=2)
+    assert monitor.metric(4) == model.latency(2, 4)
+    assert monitor.metric(2) == 0.0
+
+
+def test_distance_monitor_reads_positions():
+    model = random_metric_topology(6, seed=1)
+    monitor = OracleDistanceMonitor(model, node=0)
+    assert monitor.metric(3) == model.distance(0, 3)
+    assert monitor.metric(0) == 0.0
+
+
+def test_distance_and_latency_agree_on_geometric_model():
+    """On a distance-derived model, both metrics order peers identically."""
+    model = random_metric_topology(8, seed=2)
+    lat = OracleLatencyMonitor(model, node=0)
+    dist = OracleDistanceMonitor(model, node=0)
+    peers = list(range(1, 8))
+    assert sorted(peers, key=lat.metric) == sorted(peers, key=dist.metric)

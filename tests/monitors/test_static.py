@@ -1,0 +1,18 @@
+"""Static test monitor."""
+
+from __future__ import annotations
+
+from repro.monitors.static import StaticMetricMonitor
+
+
+def test_lookup_and_default():
+    monitor = StaticMetricMonitor({1: 5.0})
+    assert monitor.metric(1) == 5.0
+    assert monitor.metric(2) == float("inf")
+
+
+def test_custom_default_and_update():
+    monitor = StaticMetricMonitor({}, default=99.0)
+    assert monitor.metric(7) == 99.0
+    monitor.set_metric(7, 3.0)
+    assert monitor.metric(7) == 3.0

@@ -1,0 +1,65 @@
+"""Connection buffer purging tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.connection import ConnectionBuffer, PurgePolicy
+from repro.network.message import Packet
+
+
+def packet(tag):
+    return Packet(src=0, dst=1, kind="MSG", payload=tag, size_bytes=10)
+
+
+def test_fifo_below_capacity():
+    buffer = ConnectionBuffer(capacity=3)
+    for tag in "abc":
+        assert buffer.offer(packet(tag)) is None
+    assert [buffer.take().payload for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_drop_oldest_purges_head():
+    buffer = ConnectionBuffer(capacity=2, policy=PurgePolicy.DROP_OLDEST)
+    buffer.offer(packet("a"))
+    buffer.offer(packet("b"))
+    victim = buffer.offer(packet("c"))
+    assert victim.payload == "a"
+    assert [buffer.take().payload for _ in range(2)] == ["b", "c"]
+    assert buffer.purged_count == 1
+
+
+def test_drop_newest_purges_incoming():
+    buffer = ConnectionBuffer(capacity=2, policy=PurgePolicy.DROP_NEWEST)
+    incoming = packet("c")
+    buffer.offer(packet("a"))
+    buffer.offer(packet("b"))
+    assert buffer.offer(incoming) is incoming
+    assert len(buffer) == 2
+
+
+def test_drop_random_keeps_count():
+    buffer = ConnectionBuffer(
+        capacity=4, policy=PurgePolicy.DROP_RANDOM, rng=random.Random(3)
+    )
+    for i in range(4):
+        buffer.offer(packet(i))
+    victim = buffer.offer(packet("new"))
+    assert victim is not None
+    assert len(buffer) == 4
+
+
+def test_full_flag_and_clear():
+    buffer = ConnectionBuffer(capacity=1)
+    assert not buffer.full
+    buffer.offer(packet("a"))
+    assert buffer.full
+    buffer.clear()
+    assert len(buffer) == 0
+
+
+def test_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        ConnectionBuffer(capacity=0)

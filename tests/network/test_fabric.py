@@ -1,0 +1,152 @@
+"""Network fabric tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.fabric import FabricConfig, NetworkFabric
+from repro.network.message import Packet
+from repro.sim.engine import Simulator
+from repro.topology.routing import ClientNetworkModel
+
+
+class RecordingObserver:
+    def __init__(self):
+        self.sends = []
+        self.delivers = []
+        self.drops = []
+
+    def on_send(self, packet, now):
+        self.sends.append((packet.kind, packet.src, packet.dst, now))
+
+    def on_deliver(self, packet, now):
+        self.delivers.append((packet.kind, packet.src, packet.dst, now))
+
+    def on_drop(self, packet, now, reason):
+        self.drops.append((packet.kind, reason))
+
+
+def make_fabric(n=4, latency=10.0, **config_kwargs):
+    sim = Simulator(seed=1)
+    model = ClientNetworkModel.uniform(n, latency_ms=latency)
+    config_kwargs.setdefault("bandwidth_bytes_per_ms", None)
+    fabric = NetworkFabric(sim, model, FabricConfig(**config_kwargs))
+    return sim, fabric
+
+
+def packet(src=0, dst=1, kind="MSG", size=100):
+    return Packet(src=src, dst=dst, kind=kind, payload="x", size_bytes=size)
+
+
+def test_delivery_after_model_latency():
+    sim, fabric = make_fabric()
+    got = []
+    fabric.register(1, lambda p: got.append((p.payload, sim.now)))
+    fabric.send(packet())
+    sim.run()
+    assert got == [("x", 10.0)]
+
+
+def test_serialization_adds_to_latency():
+    sim, fabric = make_fabric(bandwidth_bytes_per_ms=100.0)
+    got = []
+    fabric.register(1, lambda p: got.append(sim.now))
+    fabric.send(packet(size=500))  # 5 ms serialization + 10 ms propagation
+    sim.run()
+    assert got == [pytest.approx(15.0)]
+
+
+def test_loss_drops_packets():
+    sim, fabric = make_fabric(loss_probability=1.0)
+    observer = RecordingObserver()
+    fabric.set_observer(observer)
+    fabric.register(1, lambda p: pytest.fail("must not deliver"))
+    assert fabric.send(packet()) is None
+    sim.run()
+    assert observer.drops == [("MSG", "loss")]
+
+
+def test_silenced_sender_and_receiver():
+    sim, fabric = make_fabric()
+    observer = RecordingObserver()
+    fabric.set_observer(observer)
+    fabric.register(1, lambda p: pytest.fail("must not deliver"))
+    fabric.register(2, lambda p: pytest.fail("must not deliver"))
+
+    fabric.silence(0)
+    assert fabric.send(packet(src=0, dst=1)) is None
+
+    fabric.unsilence(0)
+    fabric.silence(1)
+    fabric.send(packet(src=0, dst=1))
+    sim.run()
+    reasons = [r for _, r in observer.drops]
+    assert reasons == ["sender-silenced", "receiver-silenced"]
+    assert fabric.silenced_nodes == [1]
+
+
+def test_silencing_mid_flight_drops_at_destination():
+    sim, fabric = make_fabric()
+    got = []
+    fabric.register(1, got.append)
+    fabric.send(packet())
+    fabric.silence(1)  # packet is in flight
+    sim.run()
+    assert got == []
+
+
+def test_min_deliver_at_floor():
+    sim, fabric = make_fabric()
+    got = []
+    fabric.register(1, lambda p: got.append(sim.now))
+    receipt = fabric.send(packet(), min_deliver_at=77.0)
+    assert receipt.deliver_at == 77.0
+    sim.run()
+    assert got == [77.0]
+
+
+def test_abort_cancels_in_flight():
+    sim, fabric = make_fabric()
+    observer = RecordingObserver()
+    fabric.set_observer(observer)
+    fabric.register(1, lambda p: pytest.fail("must not deliver"))
+    receipt = fabric.send(packet())
+    fabric.abort(receipt)
+    sim.run()
+    assert observer.drops == [("MSG", "purged")]
+
+
+def test_observer_sees_send_and_deliver():
+    sim, fabric = make_fabric()
+    observer = RecordingObserver()
+    fabric.set_observer(observer)
+    fabric.register(1, lambda p: None)
+    fabric.send(packet())
+    sim.run()
+    assert observer.sends == [("MSG", 0, 1, 0.0)]
+    assert observer.delivers == [("MSG", 0, 1, 10.0)]
+
+
+def test_duplicate_registration_rejected():
+    _, fabric = make_fabric()
+    fabric.register(1, lambda p: None)
+    with pytest.raises(ValueError):
+        fabric.register(1, lambda p: None)
+
+
+def test_unknown_node_rejected():
+    _, fabric = make_fabric(n=3)
+    with pytest.raises(ValueError):
+        fabric.silence(7)
+
+
+def test_jitter_within_bounds():
+    sim, fabric = make_fabric(jitter_ms=5.0)
+    times = []
+    fabric.register(1, lambda p: times.append(sim.now))
+    base = 0.0
+    for _ in range(50):
+        fabric.send(packet())
+    sim.run()
+    assert all(10.0 <= t - base <= 15.0 or t >= 10.0 for t in times)
+    assert max(times) > 10.0  # jitter actually applied

@@ -1,0 +1,98 @@
+"""State garbage collection tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gossip.config import GossipConfig
+from repro.runtime.cluster import ClusterConfig
+from repro.runtime.gc import StateGarbageCollector
+from repro.strategies.flat import PureLazyStrategy
+from repro.topology.simple import complete_topology
+from tests.conftest import build_cluster
+
+
+def test_collect_once_sweeps_old_entries(sim):
+    from repro.gossip.known_ids import KnownIds
+    from repro.scheduler.cache import PayloadCache
+
+    class FakeGossip:
+        known = KnownIds()
+
+    class FakeScheduler:
+        received = KnownIds()
+        cache = PayloadCache()
+
+    gossip, scheduler = FakeGossip(), FakeScheduler()
+    gossip.known.add(1, now=0.0)
+    scheduler.received.add(2, now=0.0)
+    scheduler.cache.put(3, "d", 1, now=0.0)
+    gc = StateGarbageCollector(sim, gossip, scheduler, retention_ms=100.0)
+
+    sim.schedule(50.0, lambda: None)
+    sim.run()
+    assert gc.collect_once() == {"known": 0, "received": 0, "cache": 0}
+
+    sim.schedule(200.0, lambda: None)
+    sim.run()
+    swept = gc.collect_once()
+    assert swept == {"known": 1, "received": 1, "cache": 1}
+    assert 1 not in gossip.known
+    assert scheduler.cache.get(3) is None
+    assert gc.collected["known"] == 1
+
+
+def test_periodic_sweeping_via_timer(sim):
+    from repro.gossip.known_ids import KnownIds
+    from repro.scheduler.cache import PayloadCache
+
+    class FakeGossip:
+        known = KnownIds()
+
+    class FakeScheduler:
+        received = KnownIds()
+        cache = PayloadCache()
+
+    gossip, scheduler = FakeGossip(), FakeScheduler()
+    gc = StateGarbageCollector(
+        sim, gossip, scheduler, retention_ms=100.0, period_ms=50.0
+    )
+    gossip.known.add(7, now=0.0)
+    gc.start()
+    sim.run(until=500.0)
+    gc.stop()
+    assert 7 not in gossip.known
+
+
+def test_validation(sim):
+    with pytest.raises(ValueError):
+        StateGarbageCollector(sim, None, None, retention_ms=0.0)
+
+
+def test_cluster_gc_bounds_state_without_breaking_delivery():
+    """End to end: with aggressive GC, old message state disappears but
+    active messages still deliver everywhere."""
+    model = complete_topology(10, latency_ms=10.0)
+    cluster, recorder = build_cluster(
+        model,
+        lambda ctx: PureLazyStrategy(),
+        config=ClusterConfig(
+            gossip=GossipConfig(fanout=4, rounds=4),
+            gc_retention_ms=2_000.0,
+            gc_period_ms=500.0,
+        ),
+    )
+    cluster.start()
+    cluster.run_for(1_000.0)
+    mids = []
+    for index in range(5):
+        mids.append(cluster.multicast(index % 10, ("m", index)))
+        cluster.run_for(1_500.0)
+    cluster.run_for(4_000.0)
+    cluster.stop()
+    for mid in mids:
+        assert len(recorder.deliveries[mid]) == 10
+    # Old state has been swept: the known set no longer holds the first
+    # message everywhere.
+    assert any(mids[0] not in node.gossip.known for node in cluster.nodes)
+    assert all(len(node.gossip.known) <= 5 for node in cluster.nodes)

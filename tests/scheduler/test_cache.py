@@ -1,0 +1,63 @@
+"""Payload cache (C) tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.scheduler.cache import PayloadCache
+
+
+def test_put_get_roundtrip():
+    cache = PayloadCache()
+    cache.put(1, "payload", 3)
+    assert cache.get(1) == ("payload", 3)
+    assert 1 in cache
+
+
+def test_get_missing_returns_none():
+    cache = PayloadCache()
+    assert cache.get(42) is None
+
+
+def test_eviction_is_fifo():
+    cache = PayloadCache(capacity=2)
+    cache.put(1, "a", 1)
+    cache.put(2, "b", 1)
+    cache.put(3, "c", 1)
+    assert cache.get(1) is None
+    assert cache.get(2) == ("b", 1)
+    assert cache.evicted == 1
+
+
+def test_refresh_moves_to_back():
+    cache = PayloadCache(capacity=2)
+    cache.put(1, "a", 1)
+    cache.put(2, "b", 1)
+    cache.put(1, "a2", 5)  # refresh
+    cache.put(3, "c", 1)
+    assert cache.get(2) is None
+    assert cache.get(1) == ("a2", 5)
+
+
+def test_discard():
+    cache = PayloadCache()
+    cache.put(1, "a", 1)
+    cache.discard(1)
+    assert cache.get(1) is None
+    cache.discard(99)  # idempotent
+
+
+def test_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        PayloadCache(capacity=0)
+
+
+@given(st.lists(st.integers(0, 40), max_size=200), st.integers(1, 8))
+def test_property_bounded_and_consistent(ids, capacity):
+    cache = PayloadCache(capacity=capacity)
+    for i in ids:
+        cache.put(i, f"p{i}", 0)
+        assert len(cache) <= capacity
+        entry = cache.get(i)
+        assert entry is not None and entry[0] == f"p{i}"

@@ -1,0 +1,121 @@
+"""Event queue unit and property tests."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.sim.events import EventQueue
+
+
+def test_pop_orders_by_time():
+    queue = EventQueue()
+    fired = []
+    queue.push(5.0, fired.append, "b")
+    queue.push(1.0, fired.append, "a")
+    queue.push(9.0, fired.append, "c")
+    while (event := queue.pop()) is not None:
+        event.callback(*event.args)
+    assert fired == ["a", "b", "c"]
+
+
+def test_fifo_tie_break_at_same_time():
+    queue = EventQueue()
+    order = []
+    for tag in range(10):
+        queue.push(3.0, order.append, tag)
+    while (event := queue.pop()) is not None:
+        event.callback(*event.args)
+    assert order == list(range(10))
+
+
+def test_len_counts_live_events():
+    queue = EventQueue()
+    handles = [queue.push(float(i), lambda: None) for i in range(4)]
+    assert len(queue) == 4
+    handles[1].cancel()
+    assert len(queue) == 3
+    queue.pop()
+    assert len(queue) == 2
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    fired = []
+    keep = queue.push(1.0, fired.append, "keep")
+    drop = queue.push(0.5, fired.append, "drop")
+    drop.cancel()
+    event = queue.pop()
+    event.callback(*event.args)
+    assert fired == ["keep"]
+    assert queue.pop() is None
+    assert keep.fired
+
+
+def test_cancel_is_idempotent_and_noop_after_fire():
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert len(queue) == 0
+    queue2 = EventQueue()
+    handle2 = queue2.push(1.0, lambda: None)
+    queue2.pop()
+    handle2.cancel()  # already fired: must not corrupt the live count
+    assert len(queue2) == 0
+
+
+def test_handle_pending_lifecycle():
+    queue = EventQueue()
+    handle = queue.push(2.0, lambda: None)
+    assert handle.pending and not handle.fired and not handle.cancelled
+    queue.pop()
+    assert handle.fired and not handle.pending
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    first.cancel()
+    assert queue.peek_time() == 2.0
+
+
+def test_clear_empties_queue():
+    queue = EventQueue()
+    for i in range(5):
+        queue.push(float(i), lambda: None)
+    queue.clear()
+    assert len(queue) == 0
+    assert queue.pop() is None
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=200))
+def test_property_pop_order_is_sorted(times):
+    queue = EventQueue()
+    for t in times:
+        queue.push(t, lambda: None)
+    popped = []
+    while (event := queue.pop()) is not None:
+        popped.append(event.time)
+    assert popped == sorted(times)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100), st.booleans()),
+        max_size=100,
+    )
+)
+def test_property_cancellation_respects_live_count(entries):
+    queue = EventQueue()
+    handles = [(queue.push(t, lambda: None), cancel) for t, cancel in entries]
+    expected_live = len(entries)
+    for handle, cancel in handles:
+        if cancel:
+            handle.cancel()
+            expected_live -= 1
+    assert len(queue) == expected_live
+    popped = 0
+    while queue.pop() is not None:
+        popped += 1
+    assert popped == expected_live

@@ -1,0 +1,160 @@
+"""Generator-process API tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.process import Process, Signal, spawn
+
+
+def test_sleep_sequencing(sim):
+    log = []
+
+    def worker():
+        log.append(sim.now)
+        yield 10.0
+        log.append(sim.now)
+        yield 5.0
+        log.append(sim.now)
+
+    spawn(sim, worker())
+    sim.run()
+    assert log == [0.0, 10.0, 15.0]
+
+
+def test_return_value_and_done_signal(sim):
+    def worker():
+        yield 1.0
+        return 42
+
+    process = spawn(sim, worker())
+    sim.run()
+    assert process.alive is False
+    assert process.result == 42
+    assert process.done.triggered
+    assert process.done.value == 42
+
+
+def test_join_another_process(sim):
+    log = []
+
+    def child():
+        yield 20.0
+        return "child-result"
+
+    def parent():
+        result = yield spawn(sim, child())
+        log.append((sim.now, result))
+
+    spawn(sim, parent())
+    sim.run()
+    assert log == [(20.0, "child-result")]
+
+
+def test_wait_on_signal(sim):
+    signal = Signal(sim)
+    log = []
+
+    def waiter():
+        value = yield signal
+        log.append((sim.now, value))
+
+    def firer():
+        yield 30.0
+        signal.trigger("fired")
+
+    spawn(sim, waiter())
+    spawn(sim, firer())
+    sim.run()
+    assert log == [(30.0, "fired")]
+
+
+def test_already_triggered_signal_resumes_immediately(sim):
+    signal = Signal(sim)
+    signal.trigger(7)
+    log = []
+
+    def waiter():
+        value = yield signal
+        log.append(value)
+
+    spawn(sim, waiter())
+    sim.run()
+    assert log == [7]
+
+
+def test_multiple_waiters_all_wake(sim):
+    signal = Signal(sim)
+    log = []
+
+    def waiter(tag):
+        value = yield signal
+        log.append((tag, value))
+
+    for tag in "abc":
+        spawn(sim, waiter(tag))
+    sim.schedule(10.0, signal.trigger, "x")
+    sim.run()
+    assert sorted(log) == [("a", "x"), ("b", "x"), ("c", "x")]
+
+
+def test_signal_cannot_fire_twice(sim):
+    signal = Signal(sim)
+    signal.trigger()
+    with pytest.raises(RuntimeError):
+        signal.trigger()
+
+
+def test_interrupt_stops_process(sim):
+    log = []
+
+    def worker():
+        yield 10.0
+        log.append("never")
+
+    process = spawn(sim, worker())
+    process.interrupt()
+    sim.run()
+    assert log == []
+    assert not process.done.triggered
+
+
+def test_invalid_yield_raises(sim):
+    def worker():
+        yield "nonsense"
+
+    spawn(sim, worker())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_negative_sleep_rejected(sim):
+    def worker():
+        yield -1.0
+
+    spawn(sim, worker())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_processes_drive_protocol_scenarios(sim):
+    """The intended use: sequential orchestration of a cluster."""
+    from repro.strategies.flat import PureEagerStrategy
+    from repro.topology.simple import complete_topology
+    from tests.conftest import build_cluster
+
+    model = complete_topology(8, latency_ms=10.0)
+    cluster, recorder = build_cluster(model, lambda ctx: PureEagerStrategy())
+    outcome = {}
+
+    def scenario():
+        cluster.start()
+        yield 2_000.0  # warm-up
+        mid = cluster.multicast(0, "hello")
+        yield 1_000.0  # drain
+        outcome["deliveries"] = len(recorder.deliveries[mid])
+        cluster.stop()
+
+    spawn(cluster.sim, scenario())
+    cluster.sim.run(until=10_000.0)
+    assert outcome["deliveries"] == 8

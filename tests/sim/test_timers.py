@@ -1,0 +1,75 @@
+"""Periodic timer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.timers import PeriodicTimer
+
+
+def test_ticks_at_period(sim):
+    ticks = []
+    timer = PeriodicTimer(sim, 10.0, lambda: ticks.append(sim.now))
+    timer.start()
+    sim.run(until=35.0)
+    assert ticks == [10.0, 20.0, 30.0]
+    timer.stop()
+
+
+def test_initial_delay_overrides_first_tick(sim):
+    ticks = []
+    timer = PeriodicTimer(sim, 10.0, lambda: ticks.append(sim.now))
+    timer.start(initial_delay=2.0)
+    sim.run(until=25.0)
+    assert ticks == [2.0, 12.0, 22.0]
+    timer.stop()
+
+
+def test_stop_halts_ticking(sim):
+    ticks = []
+    timer = PeriodicTimer(sim, 5.0, lambda: ticks.append(sim.now))
+    timer.start()
+    sim.run(until=12.0)
+    timer.stop()
+    sim.run(until=100.0)
+    assert ticks == [5.0, 10.0]
+
+
+def test_callback_may_stop_timer(sim):
+    ticks = []
+    timer = PeriodicTimer(sim, 5.0, lambda: (ticks.append(sim.now), timer.stop()))
+    timer.start()
+    sim.run(until=100.0)
+    assert ticks == [5.0]
+
+
+def test_start_is_idempotent(sim):
+    ticks = []
+    timer = PeriodicTimer(sim, 5.0, lambda: ticks.append(sim.now))
+    timer.start()
+    timer.start()
+    sim.run(until=11.0)
+    assert ticks == [5.0, 10.0]
+    timer.stop()
+
+
+def test_jitter_shifts_periods(sim):
+    ticks = []
+    timer = PeriodicTimer(sim, 10.0, lambda: ticks.append(sim.now), jitter=lambda: 1.0)
+    timer.start()
+    sim.run(until=35.0)
+    # First tick after one plain period, then period + jitter.
+    assert ticks == [10.0, 21.0, 32.0]
+    timer.stop()
+
+
+def test_rejects_bad_period(sim):
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, 0.0, lambda: None)
+
+
+def test_rejects_jitter_that_kills_period(sim):
+    timer = PeriodicTimer(sim, 5.0, lambda: None, jitter=lambda: -5.0)
+    timer.start()
+    with pytest.raises(ValueError):
+        sim.run(until=20.0)

@@ -1,0 +1,47 @@
+"""Flat strategy tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.strategies.flat import FlatStrategy, PureEagerStrategy, PureLazyStrategy
+
+
+def rate(strategy, samples=4000):
+    hits = sum(
+        1 for i in range(samples) if strategy.eager(i, None, 1, peer=i % 7)
+    )
+    return hits / samples
+
+
+def test_extremes_are_deterministic():
+    assert rate(PureEagerStrategy()) == 1.0
+    assert rate(PureLazyStrategy()) == 0.0
+
+
+def test_intermediate_probability_hit_rate():
+    strategy = FlatStrategy(0.3, random.Random(5))
+    assert abs(rate(strategy) - 0.3) < 0.03
+
+
+def test_decision_independent_of_round_and_peer():
+    strategy = FlatStrategy(1.0, random.Random(5))
+    assert strategy.eager(1, None, 99, peer=123)
+
+
+def test_default_schedule_next_behaviour():
+    strategy = FlatStrategy(0.5, random.Random(1), retry_period_ms=400.0)
+    assert strategy.first_request_delay(1, source=9) == 0.0
+    assert strategy.select_source(1, [4, 5, 6], set()) == 4
+    assert strategy.retry_period_ms == 400.0
+
+
+def test_probability_validation():
+    with pytest.raises(ValueError):
+        FlatStrategy(1.5, random.Random(1))
+    with pytest.raises(ValueError):
+        FlatStrategy(-0.1, random.Random(1))
+    with pytest.raises(ValueError):
+        FlatStrategy(0.5, random.Random(1), retry_period_ms=0.0)

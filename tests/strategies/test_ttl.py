@@ -1,0 +1,39 @@
+"""TTL strategy tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.strategies.ttl import TtlStrategy
+
+
+def test_eager_below_threshold_lazy_at_or_above():
+    strategy = TtlStrategy(eager_rounds=3)
+    assert strategy.eager(1, None, 1, peer=0)
+    assert strategy.eager(1, None, 2, peer=0)
+    assert not strategy.eager(1, None, 3, peer=0)
+    assert not strategy.eager(1, None, 9, peer=0)
+
+
+def test_zero_is_pure_lazy():
+    """u = 0 provides pure lazy push (section 4.1); rounds are 1-based
+    on the wire so round 1 is the first the strategy ever sees."""
+    strategy = TtlStrategy(eager_rounds=0)
+    assert not strategy.eager(1, None, 1, peer=0)
+
+
+def test_above_max_rounds_is_pure_eager():
+    """u > t defaults to common eager push (section 4.1)."""
+    strategy = TtlStrategy(eager_rounds=100)
+    for round_ in range(1, 20):
+        assert strategy.eager(1, None, round_, peer=0)
+
+
+def test_independent_of_peer_and_message():
+    strategy = TtlStrategy(eager_rounds=2)
+    assert strategy.eager(123, "x", 1, peer=4) == strategy.eager(9, "y", 1, peer=8)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TtlStrategy(eager_rounds=-1)

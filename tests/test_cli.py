@@ -1,0 +1,83 @@
+"""CLI tests (in-process: the CLI is plain functions over argv)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_topology_command(capsys):
+    assert main(["topology", "--routers", "250", "--clients", "15", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "mean hop distance" in out
+    assert "mean end-to-end latency" in out
+
+
+def test_run_command_eager(capsys):
+    code = main([
+        "run", "eager", "--clients", "15", "--routers", "200",
+        "--messages", "8", "--seed", "4",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "latency_ms" in out
+    assert "eager" in out
+
+
+def test_run_command_ttl_with_rounds(capsys):
+    code = main([
+        "run", "ttl", "--rounds", "2", "--clients", "15", "--routers", "200",
+        "--messages", "8",
+    ])
+    assert code == 0
+    assert "ttl" in capsys.readouterr().out
+
+
+def test_figure_command(capsys):
+    code = main(["figure", "5.1", "--clients", "15", "--routers", "200"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "measured" in out and "paper" in out
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "bogus"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_all_figure_keys_parse():
+    parser = build_parser()
+    for key in ("5.1", "4", "5a", "5b", "5c", "6", "5.4"):
+        args = parser.parse_args(["figure", key])
+        assert args.figure == key
+
+
+def test_scale_overrides_parse():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["run", "flat", "--probability", "0.3", "--scale", "full",
+         "--clients", "12", "--messages", "5", "--seed", "9"]
+    )
+    assert args.probability == 0.3
+    assert args.scale == "full"
+    assert args.clients == 12
+
+
+def test_topology_save_writes_model_file(tmp_path, capsys):
+    from repro.topology.export import load_model
+
+    path = tmp_path / "model.json"
+    code = main([
+        "topology", "--routers", "250", "--clients", "12", "--seed", "2",
+        "--save", str(path),
+    ])
+    assert code == 0
+    model = load_model(path)
+    assert model.size == 12
+    assert "model written" in capsys.readouterr().out

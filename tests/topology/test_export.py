@@ -1,0 +1,68 @@
+"""Model-file serialization tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.topology.export import (
+    FORMAT_NAME,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.topology.simple import random_metric_topology
+
+
+def test_round_trip_through_dict():
+    model = random_metric_topology(8, seed=3)
+    restored = model_from_dict(model_to_dict(model, provenance="test"))
+    assert restored.size == model.size
+    assert restored.latency_ms == model.latency_ms
+    assert restored.hops == model.hops
+    assert restored.positions == model.positions
+
+
+def test_round_trip_through_file(tmp_path):
+    model = random_metric_topology(6, seed=4)
+    path = tmp_path / "model.json"
+    save_model(model, path, provenance="random_metric_topology(6, seed=4)")
+    restored = load_model(path)
+    assert restored.latency_ms == model.latency_ms
+    document = json.loads(path.read_text())
+    assert document["format"] == FORMAT_NAME
+    assert "random_metric_topology" in document["provenance"]
+
+
+def test_rejects_foreign_documents():
+    with pytest.raises(ValueError):
+        model_from_dict({"format": "something-else"})
+    with pytest.raises(ValueError):
+        model_from_dict({"format": FORMAT_NAME, "version": 99})
+
+
+def test_rejects_inconsistent_header():
+    model = random_metric_topology(5, seed=1)
+    document = model_to_dict(model)
+    document["clients"] = 99
+    with pytest.raises(ValueError):
+        model_from_dict(document)
+
+
+def test_loaded_model_is_usable_in_experiments(tmp_path):
+    from repro.strategies.flat import PureEagerStrategy
+    from tests.conftest import build_cluster
+
+    model = random_metric_topology(10, seed=5)
+    path = tmp_path / "model.json"
+    save_model(model, path)
+    restored = load_model(path)
+    cluster, recorder = build_cluster(restored, lambda ctx: PureEagerStrategy())
+    cluster.start()
+    cluster.run_for(2_000.0)
+    mid = cluster.multicast(0, "x")
+    cluster.run_for(3_000.0)
+    cluster.stop()
+    assert len(recorder.deliveries[mid]) == 10

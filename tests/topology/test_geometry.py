@@ -1,0 +1,39 @@
+"""Geometry helper tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.geometry import Point, clamp, euclidean, midpoint
+
+coords = st.floats(min_value=-1e6, max_value=1e6)
+
+
+def test_distance_345():
+    assert euclidean(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+    assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+
+def test_midpoint():
+    assert midpoint(Point(0, 0), Point(4, 2)) == Point(2, 1)
+
+
+def test_clamp():
+    assert clamp(5, 0, 10) == 5
+    assert clamp(-1, 0, 10) == 0
+    assert clamp(11, 0, 10) == 10
+
+
+@given(coords, coords, coords, coords)
+def test_property_distance_symmetric_nonnegative(x1, y1, x2, y2):
+    a, b = Point(x1, y1), Point(x2, y2)
+    assert euclidean(a, b) == euclidean(b, a)
+    assert euclidean(a, b) >= 0.0
+    assert euclidean(a, a) == 0.0
+
+
+@given(coords, coords, coords, coords, coords, coords)
+def test_property_triangle_inequality(x1, y1, x2, y2, x3, y3):
+    a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+    assert euclidean(a, c) <= euclidean(a, b) + euclidean(b, c) + 1e-6

@@ -1,0 +1,74 @@
+"""RouterTopology container tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.geometry import Point
+from repro.topology.graph import NodeKind, RouterTopology
+
+
+def build_triangle():
+    graph = RouterTopology()
+    a = graph.add_node(NodeKind.TRANSIT, Point(0, 0))
+    b = graph.add_node(NodeKind.TRANSIT, Point(1, 0))
+    c = graph.add_node(NodeKind.STUB, Point(0, 1))
+    graph.add_edge(a, b, 5.0)
+    graph.add_edge(b, c, 7.0)
+    graph.add_edge(a, c, 9.0)
+    return graph, (a, b, c)
+
+
+def test_edges_are_symmetric():
+    graph, (a, b, c) = build_triangle()
+    assert graph.edge_latency(a, b) == graph.edge_latency(b, a) == 5.0
+    assert (b, 5.0) in graph.adjacency[a]
+    assert (a, 5.0) in graph.adjacency[b]
+
+
+def test_counts_and_kind_queries():
+    graph, (a, b, c) = build_triangle()
+    assert graph.node_count == 3
+    assert graph.edge_count == 3
+    assert graph.router_count == 3
+    assert graph.nodes_of_kind(NodeKind.STUB) == [c]
+    assert graph.degree(a) == 2
+
+
+def test_rejects_self_loop_duplicate_and_bad_latency():
+    graph, (a, b, _) = build_triangle()
+    with pytest.raises(ValueError):
+        graph.add_edge(a, a, 1.0)
+    with pytest.raises(ValueError):
+        graph.add_edge(b, a, 2.0)  # duplicate, reversed
+    node = graph.add_node(NodeKind.STUB, Point(5, 5))
+    with pytest.raises(ValueError):
+        graph.add_edge(a, node, 0.0)
+
+
+def test_connectivity_detection():
+    graph, _ = build_triangle()
+    assert graph.is_connected()
+    graph.add_node(NodeKind.CLIENT, Point(9, 9))  # isolated
+    assert not graph.is_connected()
+
+
+def test_scale_latencies_all():
+    graph, (a, b, c) = build_triangle()
+    graph.scale_latencies(2.0)
+    assert graph.edge_latency(a, b) == 10.0
+    assert graph.edge_latency(b, c) == 14.0
+
+
+def test_scale_latencies_respects_kind_filter():
+    graph = RouterTopology()
+    t = graph.add_node(NodeKind.TRANSIT, Point(0, 0))
+    s = graph.add_node(NodeKind.STUB, Point(1, 0))
+    client = graph.add_node(NodeKind.CLIENT, Point(1, 0))
+    graph.add_edge(t, s, 10.0)
+    graph.add_edge(s, client, 1.0)
+    graph.scale_latencies(3.0, kinds={NodeKind.TRANSIT, NodeKind.STUB})
+    assert graph.edge_latency(t, s) == 30.0
+    assert graph.edge_latency(s, client) == 1.0  # access link untouched
+    # Adjacency must be rebuilt consistently.
+    assert (s, 30.0) in graph.adjacency[t]

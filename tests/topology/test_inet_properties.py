@@ -1,0 +1,54 @@
+"""Property-based generator tests over random parameterizations."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.topology.graph import NodeKind
+from repro.topology.inet import InetParameters, generate_inet
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    routers=st.integers(min_value=60, max_value=250),
+    clients=st.integers(min_value=2, max_value=20),
+    transit=st.integers(min_value=4, max_value=24),
+    chain=st.floats(min_value=0.0, max_value=0.4),
+    multihoming=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_generator_invariants(routers, clients, transit, chain, multihoming, seed):
+    params = InetParameters(
+        router_count=routers,
+        client_count=clients,
+        transit_count=transit,
+        transit_extra_degree=4,
+        stub_chain_probability=chain,
+        multihoming_probability=multihoming,
+        target_mean_latency_ms=None,
+    )
+    topo = generate_inet(params, seed=seed)
+    graph = topo.graph
+
+    # Node accounting.
+    assert graph.router_count == routers
+    assert len(topo.client_ids) == clients
+    assert len(topo.transit_ids) == transit
+
+    # Always one connected component.
+    assert graph.is_connected()
+
+    # Clients are leaves on distinct stubs with the fixed access latency.
+    stubs = set()
+    for client in topo.client_ids:
+        neighbors = graph.adjacency[client]
+        assert len(neighbors) == 1
+        stub, latency = neighbors[0]
+        assert graph.kinds[stub] is NodeKind.STUB
+        assert latency == params.client_access_latency_ms
+        stubs.add(stub)
+    assert len(stubs) == clients
+
+    # All link latencies positive; edges symmetric by construction.
+    assert all(latency > 0 for _, _, latency in graph.edges())

@@ -1,0 +1,67 @@
+"""Analytic test topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.simple import (
+    complete_topology,
+    grid_topology,
+    random_metric_topology,
+    ring_topology,
+    star_topology,
+)
+
+
+def test_complete_topology_uniform():
+    model = complete_topology(6, latency_ms=30.0)
+    for i in range(6):
+        for j in range(6):
+            expected = 0.0 if i == j else 30.0
+            assert model.latency(i, j) == expected
+
+
+def test_complete_topology_jitter_is_symmetric_and_bounded():
+    model = complete_topology(8, latency_ms=30.0, jitter_ms=5.0, seed=2)
+    for i in range(8):
+        for j in range(i + 1, 8):
+            assert model.latency(i, j) == model.latency(j, i)
+            assert 25.0 <= model.latency(i, j) <= 35.0
+
+
+def test_ring_topology_distances():
+    model = ring_topology(6, hop_latency_ms=10.0)
+    assert model.latency(0, 1) == 10.0
+    assert model.latency(0, 3) == 30.0
+    assert model.latency(0, 5) == 10.0  # wraps around
+    assert model.hop_distance(0, 3) == 3
+
+
+def test_star_topology_hub_is_close():
+    model = star_topology(5, center_latency_ms=5.0, edge_latency_ms=50.0)
+    assert model.latency(0, 3) == 5.0
+    assert model.latency(1, 2) == 100.0
+    assert model.closeness(0) < model.closeness(1)
+
+
+def test_grid_topology_manhattan():
+    model = grid_topology(3, 3, hop_latency_ms=10.0)
+    # corner (0) to opposite corner (8): manhattan distance 4
+    assert model.latency(0, 8) == 40.0
+    assert model.hop_distance(0, 4) == 2
+
+
+def test_random_metric_topology_calibrated_and_symmetric():
+    model = random_metric_topology(10, mean_latency_ms=50.0, seed=4)
+    assert model.mean_latency() == pytest.approx(50.0, rel=0.01)
+    for i in range(10):
+        for j in range(10):
+            assert model.latency(i, j) == model.latency(j, i)
+
+
+def test_random_metric_distance_correlates_with_latency():
+    model = random_metric_topology(10, seed=4)
+    pairs = [(i, j) for i in range(10) for j in range(i + 1, 10)]
+    by_distance = sorted(pairs, key=lambda p: model.distance(*p))
+    by_latency = sorted(pairs, key=lambda p: model.latency(*p))
+    assert by_distance == by_latency

@@ -1,0 +1,61 @@
+"""Topology statistics computation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.geometry import Point
+from repro.topology.routing import ClientNetworkModel
+from repro.topology.stats import compute_statistics
+
+
+def make_model(latencies, hops):
+    n = len(latencies)
+    positions = [Point(float(i), 0.0) for i in range(n)]
+    return ClientNetworkModel(latencies, hops, positions)
+
+
+def test_statistics_on_known_model():
+    # Three clients: pair latencies 40, 50, 60; hops 5, 6, 7.
+    latency = [
+        [0, 40, 50],
+        [40, 0, 60],
+        [50, 60, 0],
+    ]
+    hops = [
+        [0, 5, 6],
+        [5, 0, 7],
+        [6, 7, 0],
+    ]
+    stats = compute_statistics(make_model(latency, hops))
+    assert stats.client_count == 3
+    assert stats.mean_latency_ms == pytest.approx(50.0)
+    assert stats.mean_hop_distance == pytest.approx(6.0)
+    assert stats.share_hops_5_to_6 == pytest.approx(2 / 3)
+    assert stats.share_latency_39_to_60 == pytest.approx(1.0)
+    assert stats.median_latency_ms == pytest.approx(50.0)
+
+
+def test_percentiles_interpolate():
+    latency = [
+        [0, 10, 20],
+        [10, 0, 30],
+        [20, 30, 0],
+    ]
+    hops = [[0, 1, 1], [1, 0, 1], [1, 1, 0]]
+    stats = compute_statistics(make_model(latency, hops))
+    assert stats.latency_p25_ms == pytest.approx(15.0)
+    assert stats.latency_p75_ms == pytest.approx(25.0)
+
+
+def test_requires_two_clients():
+    with pytest.raises(ValueError):
+        compute_statistics(ClientNetworkModel.uniform(1))
+
+
+def test_as_rows_renders_all_paper_statistics():
+    stats = compute_statistics(ClientNetworkModel.uniform(5, latency_ms=50.0))
+    labels = [label for label, _ in stats.as_rows()]
+    assert "mean hop distance" in labels
+    assert "mean end-to-end latency" in labels
+    assert "pairs within 39-60 ms" in labels
