@@ -50,6 +50,8 @@ def test_retransmission_period_sweep(benchmark):
                     "payload_per_msg": result.summary.payload_per_delivery,
                     "latency_ms": result.summary.mean_latency_ms,
                     "iwants": result.recorder.sent_packets.get("IWANT", 0),
+                    "retries": result.recovery.get("retries", 0),
+                    "stalls": result.recovery.get("recovery_stalls", 0),
                     "delivery_pct": result.summary.delivery_ratio * 100,
                 }
             )
@@ -59,6 +61,8 @@ def test_retransmission_period_sweep(benchmark):
     print_table("ablation: retransmission period T (pure lazy)", rows)
     by_t = {row["T_ms"]: row for row in rows}
     assert all(row["delivery_pct"] > 99.0 for row in rows)
+    # Paper defaults never stall-escalate (the subsystem is opt-in).
+    assert all(row["stalls"] == 0 for row in rows)
     # The paper's choice achieves ~1 payload per delivery.
     assert by_t[400.0]["payload_per_msg"] < 1.15
     # Aggressive retries cost duplicate payloads and extra requests.

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.failures.gray import GrayFailureInjector, GrayFailurePlan
 from repro.failures.injection import FailureInjector, FailurePlan
 from repro.metrics.analysis import (
     RunSummary,
@@ -41,6 +42,9 @@ class ExperimentSpec:
     drain_ms: float = 5_000.0
     seed: int = 0
     failure: Optional[FailurePlan] = None
+    #: Gray failures (slow nodes, lossy links, flappy nodes), applied at
+    #: the same instant as crash failures: after warmup, before logging.
+    gray: Optional[GrayFailurePlan] = None
     node_classes: Optional[NodeClassesFn] = None
 
 
@@ -60,6 +64,9 @@ class ExperimentResult:
     class_rates: Dict[str, float]
     class_latencies: Dict[str, Tuple[float, float]]
     mean_receipt_round: float = float("nan")
+    #: Recovery-pipeline counters (retries, recovery_stalls,
+    #: blacklist_skips, backoff_resets, restarts) summed over nodes.
+    recovery: Dict[str, int] = field(default_factory=dict)
 
     def row(self) -> Dict[str, float]:
         return self.summary.row()
@@ -89,6 +96,8 @@ def run_experiment(
     failed: List[int] = []
     if spec.failure is not None:
         failed = FailureInjector(cluster).apply(spec.failure)
+    if spec.gray is not None:
+        GrayFailureInjector(cluster).apply(spec.gray)
     alive = cluster.alive_nodes
 
     recorder.enable()
@@ -117,6 +126,10 @@ def run_experiment(
         else float("nan")
     )
 
+    recovery = cluster.recovery_counters()
+    for name, value in recovery.items():
+        recorder.record_recovery(name, value)
+
     return ExperimentResult(
         summary=summarize(recorder, expected_receivers=len(alive)),
         recorder=recorder,
@@ -125,4 +138,5 @@ def run_experiment(
         class_rates=class_rates,
         class_latencies=class_latencies,
         mean_receipt_round=mean_round,
+        recovery=recovery,
     )

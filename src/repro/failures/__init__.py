@@ -8,6 +8,19 @@ and keep receiving gossip targets, but all their traffic is dropped.
 """
 
 from repro.failures.churn import ChurnConfig, ChurnProcess
+from repro.failures.gray import (
+    AppliedGrayFailures,
+    GrayFailureInjector,
+    GrayFailurePlan,
+)
 from repro.failures.injection import FailureInjector, FailurePlan
 
-__all__ = ["FailureInjector", "FailurePlan", "ChurnProcess", "ChurnConfig"]
+__all__ = [
+    "FailureInjector",
+    "FailurePlan",
+    "ChurnProcess",
+    "ChurnConfig",
+    "GrayFailurePlan",
+    "GrayFailureInjector",
+    "AppliedGrayFailures",
+]

@@ -4,12 +4,20 @@ The paper fails nodes once, before measurement.  Long-lived gossip
 deployments instead see continuous churn; since the reproduction's
 overlay and scheduler claim the same resilience properties, we provide a
 churn process to exercise them: every ``interval_ms`` one random alive
-node is silenced and one random silenced node is revived (its state
-intact, as a firewall outage would leave it).
+node is silenced and one random silenced node is revived.
+
+Two revival modes exist.  The default (``restart_wipe=False``) models a
+firewall outage ending: the node returns with state intact.  With
+``restart_wipe=True`` a revival is a crash-*restart*: the node rejoins
+with its scheduler and gossip state rebuilt from scratch (via
+``Cluster.restart_node`` / ``ProtocolNode.restart``), the realistic
+worst case for recovery.
 
 The process keeps the dead-set size around ``target_dead_fraction`` of
 the population, so experiments measure a steady churn regime rather than
-monotone decay.
+monotone decay.  Alive/dead membership is tracked incrementally (the
+process owns every transition while running), so a tick is O(1) instead
+of two O(n) rebuilds of the alive list.
 """
 
 from __future__ import annotations
@@ -26,6 +34,8 @@ class ChurnConfig:
 
     interval_ms: float = 1_000.0
     target_dead_fraction: float = 0.1
+    #: Revived nodes come back with wiped scheduler/gossip state.
+    restart_wipe: bool = False
 
     def __post_init__(self) -> None:
         if self.interval_ms <= 0:
@@ -44,10 +54,21 @@ class ChurnProcess:
         self._timer = PeriodicTimer(
             cluster.sim, self.config.interval_ms, self._tick
         )
+        self._alive: List[int] = []
+        self._dead: List[int] = []
         self.kills = 0
         self.revivals = 0
+        self.restarts = 0
 
     def start(self) -> None:
+        # One O(n) snapshot; every later transition is ours to track.
+        fabric = self.cluster.fabric
+        self._alive = [
+            n for n in range(self.cluster.size) if not fabric.is_silenced(n)
+        ]
+        self._dead = [
+            n for n in range(self.cluster.size) if fabric.is_silenced(n)
+        ]
         self._timer.start()
 
     def stop(self) -> None:
@@ -57,22 +78,35 @@ class ChurnProcess:
     def dead_nodes(self) -> List[int]:
         return self.cluster.fabric.silenced_nodes
 
+    def _pop_random(self, nodes: List[int]) -> int:
+        """Remove and return a uniform random element in O(1)."""
+        index = self._rng.randrange(len(nodes))
+        nodes[index], nodes[-1] = nodes[-1], nodes[index]
+        return nodes.pop()
+
+    def _kill_one(self) -> None:
+        node = self._pop_random(self._alive)
+        self.cluster.fabric.silence(node)
+        self._dead.append(node)
+        self.kills += 1
+
+    def _revive_one(self) -> None:
+        node = self._pop_random(self._dead)
+        if self.config.restart_wipe and hasattr(self.cluster, "restart_node"):
+            self.cluster.restart_node(node)
+            self.restarts += 1
+        else:
+            self.cluster.fabric.unsilence(node)
+        self._alive.append(node)
+        self.revivals += 1
+
     def _tick(self) -> None:
-        fabric = self.cluster.fabric
-        dead = fabric.silenced_nodes
-        alive = [n for n in range(self.cluster.size) if not fabric.is_silenced(n)]
         target = round(self.config.target_dead_fraction * self.cluster.size)
-        if len(dead) < target and alive:
-            fabric.silence(self._rng.choice(alive))
-            self.kills += 1
-        elif dead:
+        if len(self._dead) < target and self._alive:
+            self._kill_one()
+        elif self._dead:
             # At (or above) target: rotate membership -- revive one, kill
             # another -- so the dead set keeps moving.
-            fabric.unsilence(self._rng.choice(dead))
-            self.revivals += 1
-            alive = [
-                n for n in range(self.cluster.size) if not fabric.is_silenced(n)
-            ]
-            if len(alive) > 1 and target > 0:
-                fabric.silence(self._rng.choice(alive))
-                self.kills += 1
+            self._revive_one()
+            if len(self._alive) > 1 and target > 0:
+                self._kill_one()

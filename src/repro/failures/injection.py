@@ -49,11 +49,18 @@ class FailureInjector:
         if plan.target == "random":
             victims = self._rng.sample(population, count)
         else:
-            ranked = [n for n in plan.ranked_nodes if n in set(population)]
+            population_set = set(population)
+            already_failed = set(self.failed)
+            ranked = [
+                n
+                for n in plan.ranked_nodes
+                if n in population_set and n not in already_failed
+            ]
             victims = list(ranked[:count])
             if len(victims) < count:
                 # Not enough ranked nodes supplied; fill uniformly.
-                rest = [n for n in population if n not in set(victims)]
+                victim_set = set(victims) | already_failed
+                rest = [n for n in population if n not in victim_set]
                 victims += self._rng.sample(rest, count - len(victims))
         for node in victims:
             self.cluster.silence(node)
@@ -65,3 +72,16 @@ class FailureInjector:
         for node in nodes:
             self.cluster.silence(node)
         self.failed.extend(nodes)
+
+    def revive(self, nodes: Sequence[int], wipe_state: bool = False) -> None:
+        """Bring nodes back.  ``wipe_state=False`` models a firewall
+        outage ending (state intact); ``wipe_state=True`` models a
+        crash-*restart*: the node rejoins with scheduler and gossip
+        state rebuilt from scratch (see ``ProtocolNode.restart``)."""
+        revived = set(nodes)
+        for node in nodes:
+            if wipe_state and hasattr(self.cluster, "restart_node"):
+                self.cluster.restart_node(node)
+            else:
+                self.cluster.fabric.unsilence(node)
+        self.failed = [n for n in self.failed if n not in revived]

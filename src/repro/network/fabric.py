@@ -16,12 +16,20 @@ it packets, and it applies, in order,
 Every packet outcome is reported to an optional :class:`PacketObserver`,
 which is how the metrics recorder sees traffic without the protocol code
 having to do any accounting.
+
+Beyond the paper's clean crash-stop model the fabric supports *gray*
+failures (see :mod:`repro.failures.gray`): per-node slowdowns (degraded
+NIC bandwidth and/or added service delay on every packet the node sends
+or receives) and per-directed-link profiles (extra loss, extra latency,
+packet duplication -- asymmetric links are expressed by overriding only
+one direction).  All gray knobs draw randomness from a dedicated stream
+so enabling them never perturbs the base fabric's seeded behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Protocol, Sequence
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.network.message import Packet
 from repro.network.nic import NetworkInterface
@@ -62,6 +70,34 @@ class FabricConfig:
             raise ValueError(f"jitter_ms must be >= 0, got {self.jitter_ms}")
 
 
+@dataclass(frozen=True)
+class LinkProfile:
+    """Gray-failure overrides for one *directed* link.
+
+    ``loss_probability`` is applied independently of (and in addition
+    to) the fabric-wide loss; ``extra_latency_ms`` stretches the link's
+    propagation delay; ``duplicate_probability`` delivers a second copy
+    of the packet one extra propagation delay later (a retransmitting
+    middlebox).  Asymmetric impairments override a single direction.
+    """
+
+    loss_probability: float = 0.0
+    extra_latency_ms: float = 0.0
+    duplicate_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError(
+                f"loss_probability out of range: {self.loss_probability}"
+            )
+        if self.extra_latency_ms < 0:
+            raise ValueError("extra_latency_ms must be >= 0")
+        if not 0.0 <= self.duplicate_probability <= 1.0:
+            raise ValueError(
+                f"duplicate_probability out of range: {self.duplicate_probability}"
+            )
+
+
 Handler = Callable[[Packet], None]
 
 
@@ -91,6 +127,12 @@ class NetworkFabric:
         self._silenced: List[bool] = [False] * model.size
         self._partition_of: Optional[List[int]] = None
         self._rng = sim.rng.stream("network.fabric")
+        # Gray-failure state; a separate stream keeps the base fabric's
+        # seeded draws (loss, jitter) identical whether or not gray
+        # impairments are configured.
+        self._gray_rng = sim.rng.stream("network.fabric.gray")
+        self._service_delay: Dict[int, float] = {}
+        self._links: Dict[Tuple[int, int], LinkProfile] = {}
         self.observer: Optional[PacketObserver] = None
         overrides = node_bandwidth or {}
         self.nics: List[NetworkInterface] = [
@@ -168,6 +210,55 @@ class NetworkFabric:
             return True
         return self._partition_of[a] == self._partition_of[b]
 
+    # -- gray failures ---------------------------------------------------------
+
+    def set_node_slowdown(
+        self,
+        node: int,
+        bandwidth_factor: float = 1.0,
+        service_delay_ms: float = 0.0,
+    ) -> None:
+        """Degrade ``node``: uplink bandwidth divided by
+        ``bandwidth_factor`` and ``service_delay_ms`` added to every
+        packet the node sends *or* receives (a busy host is slow on both
+        paths)."""
+        self._check_node(node)
+        if service_delay_ms < 0:
+            raise ValueError("service_delay_ms must be >= 0")
+        self.nics[node].set_slowdown(bandwidth_factor)
+        if service_delay_ms > 0:
+            self._service_delay[node] = service_delay_ms
+        else:
+            self._service_delay.pop(node, None)
+
+    def clear_node_slowdown(self, node: int) -> None:
+        """Restore ``node`` to healthy speed."""
+        self._check_node(node)
+        self.nics[node].set_slowdown(1.0)
+        self._service_delay.pop(node, None)
+
+    def node_service_delay(self, node: int) -> float:
+        return self._service_delay.get(node, 0.0)
+
+    def set_link(self, src: int, dst: int, profile: LinkProfile) -> None:
+        """Impair the *directed* link ``src -> dst`` (asymmetric allowed)."""
+        self._check_node(src)
+        self._check_node(dst)
+        self._links[(src, dst)] = profile
+
+    def clear_link(self, src: int, dst: int) -> None:
+        self._links.pop((src, dst), None)
+
+    def link_profile(self, src: int, dst: int) -> Optional[LinkProfile]:
+        return self._links.get((src, dst))
+
+    def clear_gray(self) -> None:
+        """Remove every gray impairment (slowdowns and link profiles)."""
+        for nic in self.nics:
+            nic.set_slowdown(1.0)
+        self._service_delay.clear()
+        self._links.clear()
+
     # -- data path -------------------------------------------------------------
 
     def send(
@@ -200,11 +291,32 @@ class NetworkFabric:
         ):
             self._drop(packet, "loss")
             return None
+        link = self._links.get((packet.src, packet.dst))
+        if (
+            link is not None
+            and link.loss_probability > 0.0
+            and self._gray_rng.random() < link.loss_probability
+        ):
+            self._drop(packet, "link-loss")
+            return None
         delay = self.model.latency(packet.src, packet.dst)
         if self.config.jitter_ms > 0.0:
             delay += self._rng.uniform(0.0, self.config.jitter_ms)
+        if link is not None:
+            delay += link.extra_latency_ms
+        if self._service_delay:
+            delay += self._service_delay.get(packet.src, 0.0)
+            delay += self._service_delay.get(packet.dst, 0.0)
         deliver_at = max(serialized_at + delay, min_deliver_at)
         handle = self.sim.schedule_at(deliver_at, self._deliver, packet)
+        if (
+            link is not None
+            and link.duplicate_probability > 0.0
+            and self._gray_rng.random() < link.duplicate_probability
+        ):
+            # A duplicating middlebox: the copy trails the original by
+            # one extra propagation delay.
+            self.sim.schedule_at(deliver_at + delay, self._deliver, packet)
         return SendReceipt(packet=packet, handle=handle, deliver_at=deliver_at)
 
     def abort(self, receipt: "SendReceipt", reason: str = "purged") -> None:

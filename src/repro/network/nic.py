@@ -30,10 +30,19 @@ class NetworkInterface:
                 f"bandwidth must be positive, got {bandwidth_bytes_per_ms}"
             )
         self.bandwidth_bytes_per_ms = bandwidth_bytes_per_ms
+        #: Gray-failure degradation: effective bandwidth is divided by
+        #: this factor (1.0 = healthy).  Only affects future packets.
+        self.slowdown = 1.0
         self._uplink_free_at = 0.0
         self.bytes_sent = 0
         self.packets_sent = 0
         self.busy_time_ms = 0.0
+
+    def set_slowdown(self, factor: float) -> None:
+        """Degrade (or restore) the uplink: bandwidth /= ``factor``."""
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        self.slowdown = factor
 
     def transmission_done_at(self, now: float, size_bytes: int) -> float:
         """Reserve uplink time for a packet; return its serialization
@@ -43,7 +52,7 @@ class NetworkInterface:
         if self.bandwidth_bytes_per_ms is None:
             return now
         start = max(now, self._uplink_free_at)
-        duration = size_bytes / self.bandwidth_bytes_per_ms
+        duration = size_bytes * self.slowdown / self.bandwidth_bytes_per_ms
         self._uplink_free_at = start + duration
         self.busy_time_ms += duration
         return self._uplink_free_at

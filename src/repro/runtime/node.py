@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from repro.gossip.config import GossipConfig
+from repro.gossip.known_ids import KnownIds
 from repro.gossip.message_ids import MessageIdSource
 from repro.gossip.protocol import GossipProtocol
 from repro.membership.neem_overlay import NeemOverlay
@@ -21,6 +22,7 @@ from repro.membership.peer_sampling import PeerSamplingService
 from repro.monitors.latency import RuntimeLatencyMonitor
 from repro.monitors.ranking import GossipRanking
 from repro.network.transport import Endpoint
+from repro.scheduler.health import PeerHealth
 from repro.scheduler.interfaces import SchedulerConfig, TransmissionStrategy
 from repro.scheduler.lazy_point_to_point import LazyPointToPoint
 from repro.sim.engine import Simulator
@@ -80,9 +82,25 @@ class ProtocolNode:
         self.overlay = overlay
         self.latency_monitor = latency_monitor
         self.ranking = ranking
+        self.scheduler_config = scheduler_config
+        self.restarts = 0
+        #: Recovery counters from schedulers discarded by restart().
+        self._recovery_carryover: Dict[str, int] = {}
+
+        # Health-aware recovery: IWANT outcomes feed per-peer scores, and
+        # the latency monitor's suspicion signal (when running) acts as a
+        # hard blacklist so requests route around likely-dead sources.
+        self.health: Optional[PeerHealth] = None
+        if scheduler_config.recovery.health_aware:
+            self.health = PeerHealth()
+            if latency_monitor is not None:
+                self.health.suspicion = (
+                    lambda peer: peer in latency_monitor.suspected
+                )
 
         self.scheduler = LazyPointToPoint(
-            sim, node, strategy, endpoint.send, scheduler_config
+            sim, node, strategy, endpoint.send, scheduler_config,
+            health=self.health,
         )
         self.gossip = GossipProtocol(
             node=node,
@@ -156,6 +174,56 @@ class ProtocolNode:
             self.ranking.stop()
         if self.gc is not None:
             self.gc.stop()
+
+    def restart(self) -> None:
+        """Crash-restart: come back with scheduler/gossip state wiped.
+
+        Models a process restart (as opposed to the paper's firewall
+        silencing, which preserves state): the payload cache, received
+        set, request queue and known-ids set are rebuilt from scratch, so
+        the node re-learns everything through gossip.  The overlay view
+        and monitors survive -- they model longer-lived infrastructure
+        (rejoin bootstrap, kernel RTT caches) and keeping them makes the
+        wiped-state effect attributable to the scheduler alone.
+        """
+        self.restarts += 1
+        for name, value in self.recovery_counters().items():
+            self._recovery_carryover[name] = value
+        old_requests = self.scheduler.requests
+        old_requests.cancel_all()
+        self.scheduler = LazyPointToPoint(
+            self.sim,
+            self.node,
+            self.strategy,
+            self.endpoint.send,
+            self.scheduler_config,
+            health=self.health,
+        )
+        self.gossip.known = KnownIds(self.gossip.config.known_ids_capacity)
+        self.gossip.l_send = self.scheduler.l_send
+        self.scheduler.bind(self.gossip.l_receive)
+        if self.gc is not None:
+            self.gc.scheduler = self.scheduler
+        # The MSG/IHAVE/IWANT dispatch closures resolve ``self.scheduler``
+        # dynamically, so no re-registration is needed.
+
+    def recovery_counters(self) -> Dict[str, int]:
+        """Lifetime recovery counters, surviving restarts."""
+        requests = self.scheduler.requests
+        carry = self._recovery_carryover
+        return {
+            "retries": carry.get("retries", 0) + requests.retries_sent,
+            "backoff_resets": (
+                carry.get("backoff_resets", 0) + requests.backoff_resets
+            ),
+            "blacklist_skips": (
+                carry.get("blacklist_skips", 0) + requests.blacklist_skips
+            ),
+            "recovery_stalls": (
+                carry.get("recovery_stalls", 0) + requests.recovery_stalls
+            ),
+            "restarts": self.restarts,
+        }
 
     # -- application interface ---------------------------------------------------
 

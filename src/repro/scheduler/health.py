@@ -1,0 +1,67 @@
+"""Per-peer health scores for request-source selection.
+
+The request queue learns about peers the hard way: an ``IWANT`` that is
+answered with the payload is evidence the source is responsive, a retry
+that fires while a request is outstanding is evidence it is not.
+:class:`PeerHealth` folds those outcomes into an EWMA score per peer in
+``[0, 1]`` (1 = always answers).  The latency monitor's suspicion signal
+plugs in as a hard override: a suspected peer is unhealthy regardless of
+its score, so the queue stops burning retry slots on likely-dead
+sources the moment the failure detector fires.
+
+Scores are shared across all of a node's pending messages -- a peer that
+stalls one transfer is deprioritized for every other transfer too, which
+is what makes the signal worth keeping outside the per-message state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+#: EWMA gain for request outcomes.  1/4 reacts within a few outcomes
+#: while still smoothing over a single lost packet.  Failures weigh
+#: double: a request that sat unanswered for a whole retry period is
+#: much stronger evidence than one answered payload (which may simply
+#: have been the only source left).
+HEALTH_ALPHA = 0.25
+FAILURE_WEIGHT = 2.0
+
+
+class PeerHealth:
+    """EWMA of IWANT outcomes per peer, plus a suspicion override."""
+
+    def __init__(self, alpha: float = HEALTH_ALPHA) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha out of (0, 1]: {alpha}")
+        self.alpha = alpha
+        self.failure_alpha = min(1.0, FAILURE_WEIGHT * alpha)
+        self._score: Dict[int, float] = {}
+        #: Optional failure-detector hook: ``suspicion(peer) -> bool``.
+        self.suspicion: Optional[Callable[[int], bool]] = None
+        self.successes = 0
+        self.failures = 0
+
+    def score(self, peer: int) -> float:
+        """Current health in [0, 1]; unknown peers are presumed healthy."""
+        return self._score.get(peer, 1.0)
+
+    def is_suspect(self, peer: int) -> bool:
+        return self.suspicion is not None and self.suspicion(peer)
+
+    def is_blacklisted(self, peer: int, threshold: float) -> bool:
+        """Unhealthy enough to skip when better candidates exist."""
+        return self.is_suspect(peer) or self.score(peer) < threshold
+
+    def record_success(self, peer: int) -> None:
+        """The peer answered a request with the payload."""
+        self.successes += 1
+        self._observe(peer, 1.0, self.alpha)
+
+    def record_failure(self, peer: int) -> None:
+        """A request to the peer went unanswered for a full retry period."""
+        self.failures += 1
+        self._observe(peer, 0.0, self.failure_alpha)
+
+    def _observe(self, peer: int, outcome: float, alpha: float) -> None:
+        current = self._score.get(peer, 1.0)
+        self._score[peer] = (1.0 - alpha) * current + alpha * outcome

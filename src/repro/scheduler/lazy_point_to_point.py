@@ -20,6 +20,7 @@ from repro.network.message import (
     payload_packet_size,
 )
 from repro.scheduler.cache import PayloadCache
+from repro.scheduler.health import PeerHealth
 from repro.scheduler.interfaces import SchedulerConfig, TransmissionStrategy
 from repro.scheduler.requests import RequestQueue
 from repro.sim.engine import Simulator
@@ -46,6 +47,7 @@ class LazyPointToPoint:
         strategy: TransmissionStrategy,
         send: SendFn,
         config: Optional[SchedulerConfig] = None,
+        health: Optional[PeerHealth] = None,
     ) -> None:
         self.sim = sim
         self.node = node
@@ -55,7 +57,14 @@ class LazyPointToPoint:
         self._l_receive: Optional[LReceiveFn] = None
         self.cache = PayloadCache(self.config.cache_capacity)
         self.received = KnownIds(self.config.received_capacity)
-        self.requests = RequestQueue(sim, strategy, self._send_request)
+        self.health = health
+        self.requests = RequestQueue(
+            sim,
+            strategy,
+            self._send_request,
+            recovery=self.config.recovery,
+            health=health,
+        )
         # Advertisement batching (ihave_batch_window_ms > 0).
         self._pending_ihaves: Dict[int, List[int]] = {}
         # Counters (diagnostics; authoritative traffic numbers come from
@@ -121,7 +130,7 @@ class LazyPointToPoint:
             self.duplicate_payloads += 1
             return
         self.received.add(message_id, self.sim.now)
-        self.requests.clear(message_id)
+        self.requests.clear_from(message_id, src)
         if self._l_receive is None:  # pragma: no cover - wiring error
             raise RuntimeError("LazyPointToPoint.bind() was never called")
         self._l_receive(message_id, payload, round_, src)

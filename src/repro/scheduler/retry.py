@@ -1,0 +1,145 @@
+"""Pluggable retry schedules for the request queue.
+
+The paper retries IWANTs on a fixed period ``T`` = 400 ms (section 5.2);
+that remains the default so fidelity benchmarks keep pinning the paper's
+numbers.  Under gray failures a fixed aggressive period hammers slow or
+dead sources; :class:`ExponentialBackoffPolicy` spaces retries out
+(``base * multiplier^attempt``, capped) with *deterministic* jitter: the
+jitter fraction is derived by hashing ``(message_id, attempt)``, so two
+runs with the same seed produce identical schedules -- no hidden RNG
+stream, no perturbation of other components.
+
+:class:`RecoveryConfig` bundles every adaptive-recovery knob (retry
+policy, health-aware source selection, stall escalation) with defaults
+that reproduce the paper's behaviour exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class RetryPolicy(Protocol):
+    """Maps (message, attempt) to the delay before the *next* request.
+
+    ``attempt`` counts requests already sent for the message (the delay
+    after the first request is ``delay(i, 1)``).
+    """
+
+    def delay(self, message_id: int, attempt: int) -> float: ...
+
+
+@dataclass(frozen=True)
+class FixedRetryPolicy:
+    """The paper's schedule: every ``period_ms``, unconditionally."""
+
+    period_ms: float
+
+    def delay(self, message_id: int, attempt: int) -> float:
+        return self.period_ms
+
+
+def _unit_hash(message_id: int, attempt: int) -> float:
+    """A deterministic value in [0, 1) from (message_id, attempt).
+
+    SplitMix64-style mixing; stable across processes and runs (unlike
+    builtin ``hash``, which is salted for str but identity for int --
+    identity would correlate jitter across consecutive message ids).
+    """
+    x = (message_id * 0x9E3779B97F4A7C15 + attempt * 0xBF58476D1CE4E5B9) & (
+        (1 << 64) - 1
+    )
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & ((1 << 64) - 1)
+    x ^= x >> 31
+    return x / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class ExponentialBackoffPolicy:
+    """``base * multiplier^(attempt-1)``, capped, with deterministic jitter.
+
+    ``jitter_fraction`` spreads each delay uniformly (and
+    deterministically, per message/attempt) in ``[d * (1 - j), d * (1 + j)]``
+    to decorrelate retry storms after a mass failure.
+    """
+
+    base_ms: float
+    multiplier: float = 2.0
+    cap_ms: float = 6_400.0
+    jitter_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.base_ms <= 0:
+            raise ValueError("base_ms must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.cap_ms < self.base_ms:
+            raise ValueError("cap_ms must be >= base_ms")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction out of [0, 1)")
+
+    def delay(self, message_id: int, attempt: int) -> float:
+        exponent = max(0, attempt - 1)
+        delay = min(self.base_ms * (self.multiplier ** exponent), self.cap_ms)
+        if self.jitter_fraction > 0.0:
+            spread = 2.0 * _unit_hash(message_id, attempt) - 1.0
+            delay *= 1.0 + self.jitter_fraction * spread
+        return delay
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Adaptive-recovery knobs for the request queue.
+
+    The defaults reproduce the paper exactly: fixed-``T`` retries, FIFO
+    source selection, no health filtering, no stall escalation.  Every
+    field is opt-in, so fidelity experiments are unaffected unless a
+    scenario asks for adaptivity.
+    """
+
+    #: ``"fixed"`` (paper) or ``"backoff"``.
+    retry_policy: str = "fixed"
+    #: Backoff base; ``None`` inherits the strategy's retry period ``T``.
+    backoff_base_ms: Optional[float] = None
+    backoff_multiplier: float = 2.0
+    backoff_cap_ms: float = 6_400.0
+    backoff_jitter_fraction: float = 0.1
+    #: Skip sources whose health score fell below the threshold (or that
+    #: the latency monitor suspects) when healthier candidates exist.
+    health_aware: bool = False
+    health_blacklist_threshold: float = 0.25
+    #: After this many fruitless retries for one message, re-arm against
+    #: the full source set and count a recovery stall.  0 disables.
+    stall_threshold: int = 0
+
+    def __post_init__(self) -> None:
+        if self.retry_policy not in ("fixed", "backoff"):
+            raise ValueError(f"unknown retry_policy {self.retry_policy!r}")
+        if self.backoff_base_ms is not None and self.backoff_base_ms <= 0:
+            raise ValueError("backoff_base_ms must be positive")
+        if not 0.0 <= self.health_blacklist_threshold <= 1.0:
+            raise ValueError("health_blacklist_threshold out of [0, 1]")
+        if self.stall_threshold < 0:
+            raise ValueError("stall_threshold must be >= 0")
+
+    @property
+    def is_paper_default(self) -> bool:
+        """True when the retry schedule is the paper's fixed-``T``."""
+        return self.retry_policy == "fixed"
+
+    def build_policy(self, strategy_retry_ms: float) -> Optional[RetryPolicy]:
+        """Instantiate the policy; ``None`` means "use the strategy's
+        fixed period", the bit-exact paper path."""
+        if self.retry_policy == "fixed":
+            return None
+        return ExponentialBackoffPolicy(
+            base_ms=self.backoff_base_ms or strategy_retry_ms,
+            multiplier=self.backoff_multiplier,
+            cap_ms=max(self.backoff_cap_ms, self.backoff_base_ms or strategy_retry_ms),
+            jitter_fraction=self.backoff_jitter_fraction,
+        )

@@ -77,6 +77,61 @@ def test_gossip_survives_steady_churn():
         assert len(recorder.deliveries[mid]) >= 17
 
 
+class FabricOnlyCluster:
+    """The minimal surface ChurnProcess needs -- no protocol stacks, so
+    the long-horizon regression below stays fast."""
+
+    def __init__(self, n: int, seed: int = 3):
+        from repro.network.fabric import FabricConfig, NetworkFabric
+        from repro.sim.engine import Simulator
+        from repro.topology.routing import ClientNetworkModel
+
+        self.sim = Simulator(seed=seed)
+        self.size = n
+        model = ClientNetworkModel.uniform(n, latency_ms=1.0)
+        self.fabric = NetworkFabric(
+            self.sim, model, FabricConfig(bandwidth_bytes_per_ms=None)
+        )
+
+
+def test_balance_holds_over_ten_thousand_ticks():
+    """Regression for the O(n) alive-list rebuild: over 10k ticks the
+    incremental bookkeeping must stay consistent with the fabric and the
+    dead set must hold at the target size."""
+    cluster = FabricOnlyCluster(50)
+    churn = ChurnProcess(
+        cluster, ChurnConfig(interval_ms=1.0, target_dead_fraction=0.2)
+    )
+    churn.start()
+    cluster.sim.run(until=10_000.0)
+    churn.stop()
+    target = 10  # round(0.2 * 50)
+    assert len(churn.dead_nodes) == target
+    assert churn.kills - churn.revivals == target
+    assert churn.kills > 4_000  # membership kept rotating the whole run
+    # Incremental tracking agrees with ground truth on the fabric.
+    assert sorted(churn._dead) == sorted(churn.dead_nodes)
+    assert sorted(churn._alive + churn._dead) == list(range(50))
+
+
+def test_restart_wipe_revival_restarts_nodes():
+    cluster, _ = make_cluster(20)
+    churn = ChurnProcess(
+        cluster,
+        ChurnConfig(
+            interval_ms=100.0, target_dead_fraction=0.2, restart_wipe=True
+        ),
+    )
+    churn.start()
+    cluster.run_for(5_000.0)
+    churn.stop()
+    assert churn.revivals > 0
+    assert churn.restarts == churn.revivals
+    assert sum(node.restarts for node in cluster.nodes) == churn.restarts
+    # Revived nodes really came back: they are reachable again.
+    assert len(churn.dead_nodes) == 4
+
+
 def test_config_validation():
     with pytest.raises(ValueError):
         ChurnConfig(interval_ms=0.0)

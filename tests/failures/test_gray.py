@@ -1,0 +1,162 @@
+"""Gray-failure plan application tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.failures.gray import (
+    AppliedGrayFailures,
+    GrayFailureInjector,
+    GrayFailurePlan,
+)
+from repro.strategies.flat import PureEagerStrategy
+from repro.topology.simple import complete_topology
+from tests.conftest import build_cluster
+
+
+def make_cluster(n=20, seed=5):
+    model = complete_topology(n, latency_ms=10.0)
+    cluster, recorder = build_cluster(
+        model, lambda ctx: PureEagerStrategy(), seed=seed
+    )
+    return cluster, recorder
+
+
+def test_empty_plan_is_noop():
+    cluster, _ = make_cluster(10)
+    injector = GrayFailureInjector(cluster)
+    applied = injector.apply(GrayFailurePlan())
+    assert applied == AppliedGrayFailures()
+    assert cluster.sim.pending_events == 0  # no flap timers scheduled
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        GrayFailurePlan(slow_fraction=1.5)
+    with pytest.raises(ValueError):
+        GrayFailurePlan(slow_bandwidth_factor=0.5)
+    with pytest.raises(ValueError):
+        GrayFailurePlan(link_loss_probability=2.0)
+    with pytest.raises(ValueError):
+        GrayFailurePlan(flap_up_ms=0.0)
+
+
+def test_apply_impairs_the_planned_fractions():
+    cluster, _ = make_cluster(20)
+    injector = GrayFailureInjector(cluster)
+    applied = injector.apply(
+        GrayFailurePlan(
+            slow_fraction=0.2,
+            lossy_link_fraction=0.05,
+            link_loss_probability=0.3,
+        )
+    )
+    assert len(applied.slow_nodes) == 4
+    assert len(applied.lossy_links) == round(0.05 * 20 * 19)
+    fabric = cluster.fabric
+    for node in applied.slow_nodes:
+        assert fabric.node_service_delay(node) > 0.0
+    for src, dst in applied.lossy_links:
+        profile = fabric.link_profile(src, dst)
+        assert profile is not None and profile.loss_probability == 0.3
+
+
+def test_link_sampling_is_directional():
+    cluster, _ = make_cluster(20)
+    injector = GrayFailureInjector(cluster)
+    applied = injector.apply(GrayFailurePlan(lossy_link_fraction=0.05))
+    assert all(src != dst for src, dst in applied.lossy_links)
+    reverse_also = [
+        (s, d) for s, d in applied.lossy_links
+        if (d, s) in set(applied.lossy_links)
+    ]
+    # Directed sampling: impairment is (almost surely) asymmetric.
+    assert len(reverse_also) < len(applied.lossy_links)
+
+
+def test_same_seed_impairs_same_targets():
+    applied = []
+    for _ in range(2):
+        cluster, _ = make_cluster(20, seed=5)
+        injector = GrayFailureInjector(cluster)
+        applied.append(
+            injector.apply(
+                GrayFailurePlan(slow_fraction=0.25, lossy_link_fraction=0.03)
+            )
+        )
+    assert applied[0] == applied[1]
+
+
+def test_flappy_nodes_toggle_reachability():
+    cluster, _ = make_cluster(10)
+    injector = GrayFailureInjector(cluster)
+    applied = injector.apply(
+        GrayFailurePlan(flappy_fraction=0.2, flap_up_ms=100.0, flap_down_ms=50.0)
+    )
+    assert len(applied.flappy_nodes) == 2
+    fabric = cluster.fabric
+    seen_down = set()
+    for _ in range(40):
+        cluster.run_for(25.0)
+        seen_down |= {n for n in applied.flappy_nodes if fabric.is_silenced(n)}
+    # Every flappy node went down at some point...
+    assert seen_down == set(applied.flappy_nodes)
+    # ...and the duty cycle brings them back up.
+    cluster.run_for(200.0)
+    later_up = {n for n in applied.flappy_nodes if not fabric.is_silenced(n)}
+    assert later_up  # not stuck down
+
+
+def test_flappy_excluded_from_slow_set():
+    cluster, _ = make_cluster(20)
+    injector = GrayFailureInjector(cluster)
+    applied = injector.apply(
+        GrayFailurePlan(slow_fraction=0.5, flappy_fraction=0.5)
+    )
+    assert not set(applied.slow_nodes) & set(applied.flappy_nodes)
+
+
+def test_clear_restores_everything():
+    cluster, _ = make_cluster(10)
+    injector = GrayFailureInjector(cluster)
+    applied = injector.apply(
+        GrayFailurePlan(
+            slow_fraction=0.3,
+            lossy_link_fraction=0.1,
+            flappy_fraction=0.2,
+            flap_up_ms=100.0,
+            flap_down_ms=1_000.0,
+        )
+    )
+    cluster.run_for(150.0)  # let the flappers go down
+    assert any(cluster.fabric.is_silenced(n) for n in applied.flappy_nodes)
+    injector.clear()
+    fabric = cluster.fabric
+    for node in applied.slow_nodes:
+        assert fabric.node_service_delay(node) == 0.0
+    for src, dst in applied.lossy_links:
+        assert fabric.link_profile(src, dst) is None
+    assert all(not fabric.is_silenced(n) for n in applied.flappy_nodes)
+    # Pending flap timers are inert after clear.
+    cluster.run_for(2_000.0)
+    assert all(not fabric.is_silenced(n) for n in applied.flappy_nodes)
+
+
+def test_gray_plan_does_not_change_message_ids():
+    """Applying a plan must not perturb protocol randomness: the same
+    traffic yields identical delivery sets with and without an untriggered
+    impairment on unrelated links."""
+
+    def run(with_plan: bool):
+        cluster, recorder = make_cluster(10, seed=11)
+        if with_plan:
+            GrayFailureInjector(cluster).apply(
+                GrayFailurePlan(lossy_link_fraction=0.02, link_loss_probability=0.0)
+            )
+        cluster.start()
+        mid = cluster.multicast(0, "x")
+        cluster.run_for(2_000.0)
+        cluster.stop()
+        return sorted(recorder.deliveries[mid])
+
+    assert run(False) == run(True)

@@ -52,6 +52,43 @@ def test_best_plan_fills_from_population_when_short():
     assert victims[:2] == [1, 2]
 
 
+def test_best_plan_skips_already_failed():
+    """Re-applying a targeted plan kills the next-ranked healthy nodes
+    instead of double-counting earlier victims."""
+    cluster = make_cluster(10)
+    injector = FailureInjector(cluster)
+    ranked = list(range(10))
+    first = injector.apply(
+        FailurePlan(fraction=0.2, target="best", ranked_nodes=ranked)
+    )
+    second = injector.apply(
+        FailurePlan(fraction=0.2, target="best", ranked_nodes=ranked)
+    )
+    assert first == [0, 1]
+    assert second == [2, 3]
+    assert injector.failed == [0, 1, 2, 3]
+    assert len(cluster.alive_nodes) == 6
+
+
+def test_revive_restores_connectivity():
+    cluster = make_cluster(6)
+    injector = FailureInjector(cluster)
+    injector.fail_nodes([2, 4])
+    injector.revive([2])
+    assert injector.failed == [4]
+    assert not cluster.fabric.is_silenced(2)
+    assert cluster.fabric.is_silenced(4)
+
+
+def test_revive_with_wipe_restarts_node():
+    cluster = make_cluster(6)
+    injector = FailureInjector(cluster)
+    injector.fail_nodes([3])
+    injector.revive([3], wipe_state=True)
+    assert not cluster.fabric.is_silenced(3)
+    assert cluster.nodes[3].restarts == 1
+
+
 def test_fail_nodes_explicit():
     cluster = make_cluster(6)
     injector = FailureInjector(cluster)

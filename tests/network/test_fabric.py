@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.network.fabric import FabricConfig, NetworkFabric
+from repro.metrics.recorder import MetricsRecorder
+from repro.network.fabric import FabricConfig, LinkProfile, NetworkFabric
 from repro.network.message import Packet
 from repro.sim.engine import Simulator
 from repro.topology.routing import ClientNetworkModel
@@ -138,6 +139,155 @@ def test_unknown_node_rejected():
     _, fabric = make_fabric(n=3)
     with pytest.raises(ValueError):
         fabric.silence(7)
+
+
+def test_abort_and_midflight_drop_reasons_reach_recorder():
+    """purged / sender-silenced / partitioned all land in the metrics
+    recorder's drop counters, including drops decided mid-flight."""
+    sim, fabric = make_fabric()
+    recorder = MetricsRecorder()
+    fabric.set_observer(recorder)
+    fabric.register(1, lambda p: pytest.fail("must not deliver"))
+
+    receipt = fabric.send(packet())  # will be aborted (buffer purge)
+    fabric.abort(receipt)
+
+    fabric.send(packet(src=2, dst=1))  # sender silenced mid-flight
+    fabric.silence(2)
+
+    sim.run()
+    fabric.unsilence(2)
+    fabric.send(packet(src=3, dst=1))  # partition forms mid-flight
+    fabric.partition([[0, 1, 2], [3]])
+    sim.run()
+
+    assert recorder.dropped_packets["purged"] == 1
+    assert recorder.dropped_packets["sender-silenced"] == 1
+    assert recorder.dropped_packets["partitioned"] == 1
+
+
+def test_partition_midflight_drops_packet():
+    sim, fabric = make_fabric()
+    got = []
+    fabric.register(1, got.append)
+    fabric.send(packet())
+    fabric.partition([[0, 2, 3], [1]])  # cut forms while in flight
+    sim.run()
+    assert got == []
+    fabric.heal()
+    fabric.send(packet())
+    sim.run()
+    assert len(got) == 1
+
+
+def test_abort_after_delivery_is_noop():
+    sim, fabric = make_fabric()
+    observer = RecordingObserver()
+    fabric.set_observer(observer)
+    fabric.register(1, lambda p: None)
+    receipt = fabric.send(packet())
+    sim.run()
+    fabric.abort(receipt)  # already delivered; nothing to cancel
+    assert observer.drops == []
+    assert observer.delivers != []
+
+
+# -- gray failures -------------------------------------------------------------
+
+
+def test_node_slowdown_stretches_serialization():
+    sim, fabric = make_fabric(bandwidth_bytes_per_ms=100.0)
+    got = []
+    fabric.register(1, lambda p: got.append(sim.now))
+    fabric.set_node_slowdown(0, bandwidth_factor=4.0)
+    fabric.send(packet(size=500))  # 4x5 ms serialization + 10 ms propagation
+    sim.run()
+    assert got == [pytest.approx(30.0)]
+
+
+def test_service_delay_applies_to_both_directions():
+    sim, fabric = make_fabric()
+    got = []
+    fabric.register(1, lambda p: got.append(sim.now))
+    fabric.register(2, lambda p: got.append(sim.now))
+    fabric.set_node_slowdown(1, service_delay_ms=25.0)
+    fabric.send(packet(src=0, dst=1))  # slow receiver
+    fabric.send(packet(src=1, dst=2))  # slow sender
+    sim.run()
+    assert got == [pytest.approx(35.0), pytest.approx(35.0)]
+
+
+def test_clear_node_slowdown_restores_speed():
+    sim, fabric = make_fabric()
+    got = []
+    fabric.register(1, lambda p: got.append(sim.now))
+    fabric.set_node_slowdown(0, service_delay_ms=100.0)
+    fabric.clear_node_slowdown(0)
+    fabric.send(packet())
+    sim.run()
+    assert got == [pytest.approx(10.0)]
+
+
+def test_link_loss_is_directional():
+    sim, fabric = make_fabric()
+    observer = RecordingObserver()
+    fabric.set_observer(observer)
+    got = []
+    fabric.register(0, lambda p: got.append(("rev", sim.now)))
+    fabric.register(1, lambda p: got.append(("fwd", sim.now)))
+    fabric.set_link(0, 1, LinkProfile(loss_probability=1.0))
+    assert fabric.send(packet(src=0, dst=1)) is None  # impaired direction
+    fabric.send(packet(src=1, dst=0))  # reverse is untouched
+    sim.run()
+    assert [kind for kind, _ in got] == ["rev"]
+    assert ("MSG", "link-loss") in observer.drops
+
+
+def test_link_extra_latency_and_duplication():
+    sim, fabric = make_fabric()
+    got = []
+    fabric.register(1, lambda p: got.append(sim.now))
+    fabric.set_link(
+        0, 1, LinkProfile(extra_latency_ms=5.0, duplicate_probability=1.0)
+    )
+    fabric.send(packet())
+    sim.run()
+    # Original at 10 + 5; the duplicate trails by one extra delay.
+    assert got == [pytest.approx(15.0), pytest.approx(30.0)]
+
+
+def test_clear_gray_removes_all_impairments():
+    sim, fabric = make_fabric()
+    got = []
+    fabric.register(1, lambda p: got.append(sim.now))
+    fabric.set_node_slowdown(0, service_delay_ms=50.0)
+    fabric.set_link(0, 1, LinkProfile(loss_probability=1.0))
+    fabric.clear_gray()
+    assert fabric.link_profile(0, 1) is None
+    assert fabric.node_service_delay(0) == 0.0
+    fabric.send(packet())
+    sim.run()
+    assert got == [pytest.approx(10.0)]
+
+
+def test_gray_knobs_do_not_perturb_base_randomness():
+    """Enabling a link profile elsewhere must not shift the jittered
+    delivery times of unimpaired traffic (separate RNG stream)."""
+
+    def delivery_times(impair: bool):
+        sim, fabric = make_fabric(jitter_ms=5.0)
+        if impair:
+            fabric.set_link(2, 3, LinkProfile(duplicate_probability=0.5))
+        times = []
+        fabric.register(1, lambda p: times.append(sim.now))
+        fabric.register(3, lambda p: None)
+        for _ in range(20):
+            fabric.send(packet())
+            fabric.send(packet(src=2, dst=3))
+        sim.run()
+        return times
+
+    assert delivery_times(False) == delivery_times(True)
 
 
 def test_jitter_within_bounds():

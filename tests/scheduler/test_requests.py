@@ -101,6 +101,32 @@ def test_new_source_after_exhaustion_rearms(sim):
     assert requests[-1][2] == 8
 
 
+def test_rearmed_entry_still_self_clears(sim):
+    """A late IHAVE re-arms the schedule, and once the fresh source is
+    asked too the entry drops itself again -- no timer leaks."""
+    queue, requests = build(sim, retry=100.0)
+    queue.queue(1, source=7)
+    sim.run()
+    assert len(queue) == 0
+    queue.queue(1, source=8)  # late advertisement re-arms
+    assert len(queue) == 1
+    sim.run()
+    assert [src for _, _, src in requests] == [7, 8]
+    assert len(queue) == 0
+    assert sim.pending_events == 0
+
+
+def test_clear_after_rearm_cancels_timer(sim):
+    queue, requests = build(sim, first_delay=40.0)
+    queue.queue(1, source=7)
+    sim.run()
+    queue.queue(1, source=8)  # re-armed, timer pending at +40
+    queue.clear(1)
+    sim.run()
+    assert [src for _, _, src in requests] == [7]
+    assert len(queue) == 0
+
+
 def test_nearest_source_selection(sim):
     distances = {7: 30.0, 8: 5.0, 9: 12.0}
     queue, requests = build(sim, nearest=lambda s: distances[s])
@@ -129,6 +155,83 @@ def test_sources_arriving_mid_cycle_are_eventually_asked(sim):
     queue.queue(1, source=9)  # arrives while retry timer pending
     sim.run()
     assert [src for _, _, src in requests] == [7, 8, 9]
+
+
+def test_cancel_all_drops_entries_and_timers(sim):
+    queue, requests = build(sim, retry=100.0)
+    queue.queue(1, source=7)
+    queue.queue(2, source=8)
+    queue.cancel_all()
+    sim.run()
+    assert requests == []
+    assert len(queue) == 0
+    assert sim.pending_events == 0
+
+
+# -- property: Clear(i) always cancels the schedule --------------------------
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+
+@st.composite
+def _op_sequences(draw):
+    """Interleaved queue/clear/advance operations over a few messages."""
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("queue"),
+                    st.integers(min_value=1, max_value=3),
+                    st.integers(min_value=10, max_value=14),
+                ),
+                st.tuples(
+                    st.just("clear"), st.integers(min_value=1, max_value=3)
+                ),
+                st.tuples(
+                    st.just("advance"),
+                    st.floats(min_value=1.0, max_value=250.0),
+                ),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    return ops
+
+
+@given(_op_sequences())
+@settings(max_examples=60, deadline=None)
+def test_clear_always_cancels_schedule(ops):
+    """After ``clear(i)`` no request for ``i`` ever fires again (until a
+    fresh advertisement), and a drained queue leaves no live timers."""
+    sim = Simulator(seed=9)
+    requests = []
+    queue = RequestQueue(
+        sim,
+        ProbeStrategy(retry=100.0),
+        lambda mid, src: requests.append((sim.now, mid, src)),
+    )
+    cleared_at: dict = {}
+    for op in ops:
+        if op[0] == "queue":
+            _, mid, src = op
+            queue.queue(mid, src)
+            cleared_at.pop(mid, None)  # re-advertisement reactivates
+        elif op[0] == "clear":
+            _, mid = op
+            queue.clear(mid)
+            cleared_at[mid] = sim.now
+        else:
+            sim.run(until=sim.now + op[1])
+    sim.run()
+    for fired_at, mid, _ in requests:
+        assert mid not in cleared_at or fired_at <= cleared_at[mid]
+    assert len(queue) == 0
+    assert sim.pending_events == 0
 
 
 def test_scheduler_config_validation():

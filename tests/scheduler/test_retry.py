@@ -1,0 +1,239 @@
+"""Retry policies, peer health, and the adaptive request schedule."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.scheduler.health import PeerHealth
+from repro.scheduler.requests import RequestQueue
+from repro.scheduler.retry import (
+    ExponentialBackoffPolicy,
+    FixedRetryPolicy,
+    RecoveryConfig,
+)
+from tests.scheduler.test_requests import ProbeStrategy
+
+
+def build_recovery(
+    sim, recovery: RecoveryConfig, health=None, retry=100.0
+) -> Tuple[RequestQueue, List[Tuple[float, int, int]]]:
+    requests: List[Tuple[float, int, int]] = []
+    queue = RequestQueue(
+        sim,
+        ProbeStrategy(retry=retry),
+        lambda mid, src: requests.append((sim.now, mid, src)),
+        recovery=recovery,
+        health=health,
+    )
+    return queue, requests
+
+
+# -- policies -----------------------------------------------------------------
+
+
+def test_fixed_policy_is_constant():
+    policy = FixedRetryPolicy(period_ms=400.0)
+    assert [policy.delay(7, a) for a in (1, 2, 5)] == [400.0, 400.0, 400.0]
+
+
+def test_backoff_doubles_and_caps():
+    policy = ExponentialBackoffPolicy(
+        base_ms=100.0, multiplier=2.0, cap_ms=400.0, jitter_fraction=0.0
+    )
+    assert [policy.delay(1, a) for a in (1, 2, 3, 4, 5)] == [
+        100.0,
+        200.0,
+        400.0,
+        400.0,
+        400.0,
+    ]
+
+
+def test_backoff_jitter_is_bounded_and_deterministic():
+    policy = ExponentialBackoffPolicy(
+        base_ms=100.0, cap_ms=6_400.0, jitter_fraction=0.2
+    )
+    delays = [policy.delay(mid, a) for mid in range(50) for a in (1, 2, 3)]
+    again = [policy.delay(mid, a) for mid in range(50) for a in (1, 2, 3)]
+    assert delays == again  # deterministic: no hidden RNG
+    for mid in range(50):
+        assert 80.0 <= policy.delay(mid, 1) <= 120.0
+    # Jitter actually spreads schedules across messages.
+    assert len({policy.delay(mid, 1) for mid in range(50)}) > 10
+
+
+def test_recovery_config_validation():
+    with pytest.raises(ValueError):
+        RecoveryConfig(retry_policy="nonsense")
+    with pytest.raises(ValueError):
+        RecoveryConfig(stall_threshold=-1)
+    with pytest.raises(ValueError):
+        RecoveryConfig(health_blacklist_threshold=1.5)
+    with pytest.raises(ValueError):
+        ExponentialBackoffPolicy(base_ms=100.0, cap_ms=50.0)
+
+
+def test_default_config_builds_no_policy():
+    assert RecoveryConfig().build_policy(400.0) is None
+    policy = RecoveryConfig(retry_policy="backoff").build_policy(400.0)
+    assert isinstance(policy, ExponentialBackoffPolicy)
+    assert policy.base_ms == 400.0  # inherits the strategy period
+
+
+# -- peer health --------------------------------------------------------------
+
+
+def test_health_scores_react_to_outcomes():
+    health = PeerHealth()
+    assert health.score(7) == 1.0  # unknown = presumed healthy
+    for _ in range(4):
+        health.record_failure(7)
+    assert health.score(7) < 0.25
+    assert health.is_blacklisted(7, threshold=0.25)
+    for _ in range(8):
+        health.record_success(7)
+    assert health.score(7) > 0.5
+    assert not health.is_blacklisted(7, threshold=0.25)
+
+
+def test_health_suspicion_overrides_score():
+    health = PeerHealth()
+    suspected = {9}
+    health.suspicion = lambda peer: peer in suspected
+    assert health.is_blacklisted(9, threshold=0.25)
+    assert not health.is_blacklisted(8, threshold=0.25)
+
+
+# -- the queue under recovery configs ----------------------------------------
+
+
+def test_backoff_schedule_spaces_retries(sim):
+    recovery = RecoveryConfig(
+        retry_policy="backoff",
+        backoff_base_ms=100.0,
+        backoff_cap_ms=6_400.0,
+        backoff_jitter_fraction=0.0,
+    )
+    queue, requests = build_recovery(sim, recovery)
+    for source in (7, 8, 9):
+        queue.queue(1, source)
+    sim.run()
+    assert [(t, src) for t, _, src in requests] == [
+        (0.0, 7),
+        (100.0, 8),
+        (300.0, 9),  # 100 then 200: backoff, not the fixed period
+    ]
+    assert queue.retries_sent == 2
+
+
+def test_health_aware_selection_skips_blacklisted_source(sim):
+    health = PeerHealth()
+    for _ in range(5):
+        health.record_failure(7)
+    recovery = RecoveryConfig(health_aware=True)
+    queue, requests = build_recovery(sim, recovery, health=health)
+    queue.queue(1, source=7)
+    queue.queue(1, source=8)
+    sim.run(until=50.0)
+    # FIFO would pick 7; health routes around it.
+    assert [src for _, _, src in requests] == [8]
+    assert queue.blacklist_skips == 1
+
+
+def test_health_aware_falls_back_when_all_sources_bad(sim):
+    health = PeerHealth()
+    for peer in (7, 8):
+        for _ in range(5):
+            health.record_failure(peer)
+    recovery = RecoveryConfig(health_aware=True)
+    queue, requests = build_recovery(sim, recovery, health=health)
+    queue.queue(1, source=7)
+    queue.queue(1, source=8)
+    sim.run(until=50.0)
+    assert [src for _, _, src in requests] == [7]  # last resort: FIFO
+
+
+def test_clear_from_credits_the_provider(sim):
+    health = PeerHealth()
+    recovery = RecoveryConfig(health_aware=True)
+    queue, requests = build_recovery(sim, recovery, health=health)
+    queue.queue(1, source=7)
+    sim.run(until=10.0)
+    queue.clear_from(1, provider=7)
+    assert health.successes == 1
+    # A provider we never asked (eager arrival) is not credited.
+    queue.queue(2, source=8)
+    queue.clear_from(2, provider=9)
+    assert health.successes == 1
+
+
+def test_retry_failure_feeds_health(sim):
+    health = PeerHealth()
+    recovery = RecoveryConfig(health_aware=True)
+    queue, requests = build_recovery(sim, recovery, health=health)
+    queue.queue(1, source=7)
+    queue.queue(1, source=8)
+    sim.run()  # 7 asked, retry fires -> 7 failed; 8 asked, retry -> 8 failed
+    assert health.failures == 2
+    assert health.score(7) < 1.0
+
+
+def test_stall_escalation_rearms_and_counts(sim):
+    recovery = RecoveryConfig(stall_threshold=2)
+    queue, requests = build_recovery(sim, recovery)
+    queue.queue(1, source=7)
+    queue.queue(1, source=8)
+    sim.run()
+    sources = [src for _, _, src in requests]
+    # 7, 8 asked; after two fruitless retries the entry re-arms against
+    # the full source set and asks both again before clearing itself.
+    assert sources == [7, 8, 7, 8]
+    assert queue.recovery_stalls == 1
+    assert len(queue) == 0
+    assert sim.pending_events == 0
+
+
+def test_stall_escalation_terminates_without_fresh_sources(sim):
+    recovery = RecoveryConfig(stall_threshold=1)
+    queue, requests = build_recovery(sim, recovery)
+    queue.queue(1, source=7)
+    sim.run()
+    # One escalation (re-ask 7), then no fresh advertisement: clears.
+    assert [src for _, _, src in requests] == [7, 7]
+    assert queue.recovery_stalls == 1
+    assert sim.pending_events == 0
+
+
+def test_stall_escalation_resets_backoff(sim):
+    recovery = RecoveryConfig(
+        retry_policy="backoff",
+        backoff_base_ms=100.0,
+        backoff_jitter_fraction=0.0,
+        stall_threshold=2,
+    )
+    queue, requests = build_recovery(sim, recovery)
+    queue.queue(1, source=7)
+    queue.queue(1, source=8)
+    sim.run()
+    # After the stall the attempt counter resets, so the re-asked pair
+    # starts from the base delay again.
+    assert queue.backoff_resets == 1
+    assert queue.recovery_stalls == 1
+
+
+def test_paper_default_schedule_is_unchanged(sim):
+    """RecoveryConfig() must be bit-identical to the fixed-T schedule."""
+    queue, requests = build_recovery(sim, RecoveryConfig())
+    for source in (7, 8, 9):
+        queue.queue(1, source)
+    sim.run()
+    assert [(t, src) for t, _, src in requests] == [
+        (0.0, 7),
+        (100.0, 8),
+        (200.0, 9),
+    ]
+    assert queue.blacklist_skips == 0
+    assert queue.recovery_stalls == 0
+    assert queue.backoff_resets == 0
