@@ -7,13 +7,13 @@ concentrates ~30% through hub nodes.
 
 from __future__ import annotations
 
-from benchmarks.conftest import BENCH, run_once
+from benchmarks.conftest import BENCH, WORKERS, run_once
 from repro.experiments.figures import figure4
 from repro.experiments.reporting import print_table
 
 
 def test_figure4_emergent_structure(benchmark):
-    rows = run_once(benchmark, figure4, BENCH)
+    rows = run_once(benchmark, figure4, BENCH, workers=WORKERS)
     print_table("figure 4: top-5% connection share", rows)
     shares = {row["series"]: row["top5_share_pct"] for row in rows}
     # Eager push: near-even spread (paper: 7%).

@@ -7,13 +7,13 @@ Flat at comparable traffic; Radius does not.
 
 from __future__ import annotations
 
-from benchmarks.conftest import BENCH, run_once
+from benchmarks.conftest import BENCH, WORKERS, run_once
 from repro.experiments.figures import figure5a
 from repro.experiments.reporting import print_table
 
 
 def test_figure5a_latency_bandwidth_tradeoff(benchmark):
-    rows = run_once(benchmark, figure5a, BENCH)
+    rows = run_once(benchmark, figure5a, BENCH, workers=WORKERS)
     print_table("figure 5(a): latency vs payload/msg", rows)
     by_key = {(r["series"], r["param"]): r for r in rows}
 

@@ -7,7 +7,7 @@ no fragility -- even when the best nodes themselves are killed.
 
 from __future__ import annotations
 
-from benchmarks.conftest import BENCH, run_once
+from benchmarks.conftest import BENCH, WORKERS, run_once
 from repro.experiments.figures import figure5b
 from repro.experiments.reporting import print_table
 
@@ -15,7 +15,8 @@ FRACTIONS = [0.0, 0.2, 0.4, 0.6, 0.8]
 
 
 def test_figure5b_reliability(benchmark):
-    rows = run_once(benchmark, figure5b, BENCH, dead_fractions=FRACTIONS)
+    rows = run_once(benchmark, figure5b, BENCH, dead_fractions=FRACTIONS,
+                    workers=WORKERS)
     print_table("figure 5(b): deliveries vs dead nodes", rows)
     by_key = {(r["series"], r["dead_pct"]): r["deliveries_pct"] for r in rows}
 

@@ -7,13 +7,13 @@ overall), versus eager push needing 11 everywhere for 227 ms.
 
 from __future__ import annotations
 
-from benchmarks.conftest import BENCH, run_once
+from benchmarks.conftest import BENCH, WORKERS, run_once
 from repro.experiments.figures import figure5c
 from repro.experiments.reporting import print_table
 
 
 def test_figure5c_hybrid_strategy(benchmark):
-    rows = run_once(benchmark, figure5c, BENCH)
+    rows = run_once(benchmark, figure5c, BENCH, workers=WORKERS)
     print_table("figure 5(c): hybrid strategy", rows)
     by_series = {row["series"]: row for row in rows}
     low = by_series["combined (low)"]

@@ -7,7 +7,7 @@ connection share converges to the unstructured 5% (6c).
 
 from __future__ import annotations
 
-from benchmarks.conftest import BENCH, run_once
+from benchmarks.conftest import BENCH, WORKERS, run_once
 from repro.experiments.figures import figure6
 from repro.experiments.reporting import print_table
 
@@ -15,7 +15,8 @@ NOISE = [0.0, 0.25, 0.5, 0.75, 1.0]
 
 
 def test_figure6_noise_degradation(benchmark):
-    rows = run_once(benchmark, figure6, BENCH, noise_levels=NOISE)
+    rows = run_once(benchmark, figure6, BENCH, noise_levels=NOISE,
+                    workers=WORKERS)
     print_table("figure 6: noise sweep", rows)
 
     for series in ("radius", "ranked"):

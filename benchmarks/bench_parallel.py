@@ -1,0 +1,69 @@
+"""Parallel experiment engine: serial vs multi-worker wall clock.
+
+Times the same 8-replication figure-4 sweep through ``workers=1`` and
+``workers=4`` and records both to ``results/BENCH_PARALLEL.json``.  The
+*equality* of the aggregated intervals is asserted (that is the engine's
+contract and it must hold on any machine); the speedup itself is only
+recorded, never asserted -- CI boxes may expose a single core, where the
+pooled run pays process start-up for no parallelism.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import Scale, build_model, figure4
+
+RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_PARALLEL.json"
+
+#: Small enough that the serial leg stays in CI time even though the
+#: comparison runs the whole sweep twice.
+SCALE = Scale(
+    "bench-parallel", clients=20, routers=200, messages=20,
+    warmup_ms=3_000.0, seed=3,
+)
+REPLICATIONS = 8
+WORKERS = 4
+
+
+def _timed_sweep(workers):
+    start = time.perf_counter()
+    rows = figure4(SCALE, workers=workers, replications=REPLICATIONS)
+    return rows, time.perf_counter() - start
+
+
+def test_parallel_speedup_recorded(benchmark):
+    build_model(SCALE)  # warm the topology cache outside the timed region
+
+    def compare():
+        serial_rows, serial_s = _timed_sweep(1)
+        parallel_rows, parallel_s = _timed_sweep(WORKERS)
+        return serial_rows, parallel_rows, serial_s, parallel_s
+
+    serial_rows, parallel_rows, serial_s, parallel_s = run_once(benchmark, compare)
+
+    # Blocking: the pooled sweep must reproduce the serial sweep exactly.
+    assert serial_rows == parallel_rows
+
+    entry = {
+        "benchmark": "figure4_replicated_sweep",
+        "scale": {
+            "clients": SCALE.clients,
+            "routers": SCALE.routers,
+            "messages": SCALE.messages,
+        },
+        "replications": REPLICATIONS,
+        "workers": WORKERS,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "identical_results": True,
+    }
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS.write_text(json.dumps(entry, indent=2) + "\n")
+    print(f"\nparallel sweep: serial {serial_s:.2f}s, "
+          f"{WORKERS} workers {parallel_s:.2f}s "
+          f"(speedup {entry['speedup']}, recorded non-blocking)")

@@ -12,16 +12,27 @@ delivery numbers.
 
 from __future__ import annotations
 
-from benchmarks.conftest import BENCH, run_once
+from dataclasses import dataclass
+
+from benchmarks.conftest import BENCH, WORKERS, run_once
 from repro.experiments.figures import build_model
+from repro.experiments.parallel import run_experiments
 from repro.experiments.reporting import print_table
-from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.experiments.runner import ExperimentSpec
 from repro.failures.gray import GrayFailurePlan
 from repro.gossip.config import GossipConfig
 from repro.runtime.cluster import ClusterConfig
 from repro.scheduler.interfaces import SchedulerConfig
 from repro.scheduler.retry import RecoveryConfig
 from repro.strategies.flat import PureLazyStrategy
+
+
+@dataclass(frozen=True)
+class LazyFactory:
+    """Picklable pure-lazy-push factory (specs cross process boundaries)."""
+
+    def __call__(self, ctx) -> PureLazyStrategy:
+        return PureLazyStrategy()
 
 GRAY = GrayFailurePlan(
     slow_fraction=0.2,
@@ -44,13 +55,13 @@ CONFIGS = {
 }
 
 
-def run_recovery(model, scale, recovery, seed_offset=0):
+def recovery_spec(scale, recovery, seed_offset=0):
     config = ClusterConfig(
         gossip=GossipConfig.for_population(scale.clients),
         scheduler=SchedulerConfig(recovery=recovery),
     )
-    spec = ExperimentSpec(
-        strategy_factory=lambda ctx: PureLazyStrategy(),
+    return ExperimentSpec(
+        strategy_factory=LazyFactory(),
         cluster=config,
         traffic=scale.traffic(),
         warmup_ms=scale.warmup_ms,
@@ -58,16 +69,19 @@ def run_recovery(model, scale, recovery, seed_offset=0):
         seed=scale.seed + 9100 + seed_offset,
         gray=GRAY,
     )
-    return run_experiment(model, spec)
 
 
 def test_recovery_under_gray_failures(benchmark):
     model = build_model(BENCH)
 
     def sweep():
+        specs = [
+            recovery_spec(BENCH, recovery, seed_offset=offset)
+            for offset, recovery in enumerate(CONFIGS.values())
+        ]
+        results = run_experiments(model, specs, workers=WORKERS)
         rows = []
-        for offset, (label, recovery) in enumerate(CONFIGS.items()):
-            result = run_recovery(model, BENCH, recovery, seed_offset=offset)
+        for label, result in zip(CONFIGS, results):
             rows.append(
                 {
                     "schedule": label,

@@ -2,72 +2,47 @@
 
 Regenerates the section 7 argument ([1]'s throughput stability problem)
 as a timeline: steady multicast traffic, 20% of the most central nodes
-killed mid-run, per-second delivery counts before and after.
+killed mid-run, per-second delivery counts before and after.  The
+timeline pair fans out through the parallel engine's generic task path
+(serial by default; see ``WORKERS`` in benchmarks/conftest.py).
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import BENCH, run_once
+from benchmarks.conftest import BENCH, WORKERS, run_once
 from repro.experiments.figures import build_model
 from repro.experiments.reporting import print_table
-from repro.experiments.stability import gossip_timeline, steady_rate, tree_timeline
+from repro.experiments.stability import stability_grid
 
 MESSAGES = 60
 INTERVAL = 250.0
 WINDOW = 1_000.0
 WARMUP = 5_000.0
 #: The failure instant, relative to the gossip run's clock (after warmup).
-FAIL_AT_GOSSIP = 7_500.0
-FAIL_AT_TREE = 7_500.0 - WARMUP  # tree runs have no warmup phase
+FAIL_AT = 7_500.0
 
 
 def test_throughput_stability_across_failure(benchmark):
     model = build_model(BENCH)
 
     def sweep():
-        return {
-            "gossip": gossip_timeline(
-                model, messages=MESSAGES, interval_ms=INTERVAL,
-                window_ms=WINDOW, failure_at_ms=FAIL_AT_GOSSIP,
-                warmup_ms=WARMUP,
-            ),
-            "tree": tree_timeline(
-                model, messages=MESSAGES, interval_ms=INTERVAL,
-                window_ms=WINDOW, failure_at_ms=FAIL_AT_TREE,
-            ),
-        }
-
-    timelines = run_once(benchmark, sweep)
-
-    # Steady windows before/after the kill (failure instants are
-    # absolute: gossip at 7.5 s -> window 7, tree at 2.5 s -> window 2).
-    gossip_before = [5, 6]
-    gossip_after = [9, 10, 11, 12]
-    tree_before = [0, 1]
-    tree_after = [4, 5, 6, 7]
-
-    rows = [
-        {
-            "system": "gossip eager",
-            "rate_before": steady_rate(timelines["gossip"], gossip_before),
-            "rate_after": steady_rate(timelines["gossip"], gossip_after),
-        },
-        {
-            "system": "tree (no repair)",
-            "rate_before": steady_rate(timelines["tree"], tree_before),
-            "rate_after": steady_rate(timelines["tree"], tree_after),
-        },
-    ]
-    for row in rows:
-        row["retained_pct"] = (
-            100.0 * row["rate_after"] / row["rate_before"]
-            if row["rate_before"]
-            else 0.0
+        return stability_grid(
+            model,
+            failed_fractions=[0.2],
+            messages=MESSAGES,
+            interval_ms=INTERVAL,
+            window_ms=WINDOW,
+            failure_at_ms=FAIL_AT,
+            warmup_ms=WARMUP,
+            workers=WORKERS,
         )
+
+    rows = run_once(benchmark, sweep)
     print_table("throughput across a 20% central-node kill", rows)
 
-    gossip = rows[0]
-    tree = rows[1]
+    by_system = {row["system"]: row for row in rows}
+    gossip = by_system["gossip eager"]
+    tree = by_system["tree (no repair)"]
     # Gossip keeps at least the surviving nodes' share (80%) minus noise.
     assert gossip["retained_pct"] > 70.0
     # The unrepaired tree loses far more than its dead nodes' share.

@@ -9,12 +9,20 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.figures import Scale
 
 #: Benchmark sizing: big enough for stable shapes, small enough for CI.
 BENCH = Scale("bench", clients=30, routers=300, messages=40, warmup_ms=5_000.0, seed=3)
+
+#: Worker count for benches that fan out through the parallel engine.
+#: Defaults to the serial path so single-core CI boxes time the same code
+#: they always have; set REPRO_BENCH_WORKERS=4 on a multi-core box.
+#: Results are bit-identical either way (see repro.experiments.parallel).
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 @pytest.fixture(scope="session")

@@ -12,8 +12,12 @@ Three commands cover the evaluation workflow without writing a script:
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import List, Optional
+
+from repro.experiments.parallel import resolve_workers
+from repro.experiments.replication import run_replicated
 
 from repro.experiments.figures import (
     FULL,
@@ -114,6 +118,16 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--routers", type=int, default=None)
     parser.add_argument("--messages", type=int, default=None)
     parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for independent runs; 1 = serial "
+        "(bit-identical fallback), 0 = one per CPU",
+    )
+    parser.add_argument(
+        "--replications", type=int, default=1,
+        help="independent seeds per configuration (section 5.4 "
+        "discipline); reported as mean ± 95%% half-width",
+    )
 
 
 def command_topology(args: argparse.Namespace) -> int:
@@ -139,7 +153,7 @@ def command_topology(args: argparse.Namespace) -> int:
 
 
 def command_run(args: argparse.Namespace) -> int:
-    """``repro run``: one experiment, one summary row."""
+    """``repro run``: one experiment (or a replicated study), one row."""
     scale = _scale(args)
     model = build_model(scale)
     spec = ExperimentSpec(
@@ -149,15 +163,41 @@ def command_run(args: argparse.Namespace) -> int:
         warmup_ms=scale.warmup_ms,
         seed=scale.seed,
     )
-    result = run_experiment(model, spec)
-    row = dict(strategy=args.strategy, **result.summary.row())
+    if args.replications > 1:
+        replicated = run_replicated(
+            model,
+            spec,
+            replications=args.replications,
+            workers=resolve_workers(args.workers),
+        )
+        row = dict(strategy=args.strategy, **replicated.row())
+    else:
+        result = run_experiment(model, spec)
+        row = dict(strategy=args.strategy, **result.summary.row())
     print(format_table([row]))
     return 0
 
 
 def command_figure(args: argparse.Namespace) -> int:
-    """``repro figure``: regenerate a paper figure/table."""
-    rows = FIGURES[args.figure](_scale(args))
+    """``repro figure``: regenerate a paper figure/table.
+
+    ``--workers``/``--replications`` are forwarded to figure functions
+    that support them (single-run tables such as 5.1 take neither).
+    """
+    figure_fn = FIGURES[args.figure]
+    supported = inspect.signature(figure_fn).parameters
+    kwargs = {}
+    if "workers" in supported:
+        kwargs["workers"] = resolve_workers(args.workers)
+    if "replications" in supported and args.replications > 1:
+        kwargs["replications"] = args.replications
+    elif args.replications > 1:
+        print(
+            f"figure {args.figure} does not support --replications; "
+            "running single-seed",
+            file=sys.stderr,
+        )
+    rows = figure_fn(_scale(args), **kwargs)
     print(format_table(rows))
     return 0
 

@@ -10,6 +10,11 @@
   (section 5.1 table, Fig. 4, Fig. 5a-c, Fig. 6a-c, section 5.4 stats),
   each returning the rows the paper plots.
 - :mod:`repro.experiments.reporting` -- plain-text table rendering.
+- :mod:`repro.experiments.parallel` -- the process-pool engine fanning
+  independent runs (replications, sweep points) over cores with
+  bit-identical results for any worker count.
+- :mod:`repro.experiments.golden` -- golden-trace digests: compact,
+  exact fingerprints of canonical runs, pinned under ``tests/golden/``.
 
 Every figure function takes a :class:`~repro.experiments.figures.Scale`
 (``QUICK`` for benchmarks/CI, ``FULL`` for paper-scale runs recorded in
@@ -17,6 +22,11 @@ EXPERIMENTS.md).
 """
 
 from repro.experiments.baselines import compare_baselines, compare_under_failures
+from repro.experiments.parallel import (
+    ParallelExecutionError,
+    run_experiments,
+    run_tasks,
+)
 from repro.experiments.replication import ReplicatedResult, run_replicated
 from repro.experiments.runner import ExperimentResult, ExperimentSpec, run_experiment
 from repro.experiments.scenarios import (
@@ -34,6 +44,9 @@ __all__ = [
     "ExperimentSpec",
     "ExperimentResult",
     "run_experiment",
+    "run_experiments",
+    "run_tasks",
+    "ParallelExecutionError",
     "run_replicated",
     "ReplicatedResult",
     "compare_baselines",

@@ -18,6 +18,11 @@ The mapping to the paper (see DESIGN.md section 4):
 - :func:`figure6` -- structure degradation under noise (a: payload,
   b: latency, c: top-5% share -- one sweep feeds all three panels).
 - :func:`section54_statistics` -- per-run traffic accounting.
+
+Sweep points are independent simulations, so every figure function
+accepts ``workers``: sweep specs are enumerated (with their seeds)
+up front and fanned over :func:`repro.experiments.parallel.run_experiments`;
+``workers=1`` keeps the historic serial loop bit-for-bit.
 """
 
 from __future__ import annotations
@@ -25,6 +30,11 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional
 
+from repro.experiments.parallel import ProgressFn, run_experiments
+from repro.experiments.replication import (
+    aggregate_summaries,
+    replication_specs,
+)
 from repro.experiments.runner import ExperimentSpec, run_experiment
 from repro.experiments.scenarios import (
     DEFAULT_PARAMS,
@@ -90,6 +100,26 @@ def _cluster_config(scale: Scale) -> ClusterConfig:
     )
 
 
+def _spec(
+    scale: Scale,
+    factory: StrategyFactory,
+    failure: Optional[FailurePlan] = None,
+    node_classes: Optional[Callable] = None,
+    cluster: Optional[ClusterConfig] = None,
+    seed_offset: int = 0,
+) -> ExperimentSpec:
+    """One sweep point's spec; seeds are fixed here, before dispatch."""
+    return ExperimentSpec(
+        strategy_factory=factory,
+        cluster=cluster or _cluster_config(scale),
+        traffic=scale.traffic(),
+        warmup_ms=scale.warmup_ms,
+        seed=scale.seed + 1000 + seed_offset,
+        failure=failure,
+        node_classes=node_classes,
+    )
+
+
 def _run(
     scale: Scale,
     factory: StrategyFactory,
@@ -99,15 +129,7 @@ def _run(
     seed_offset: int = 0,
 ):
     model = build_model(scale)
-    spec = ExperimentSpec(
-        strategy_factory=factory,
-        cluster=cluster or _cluster_config(scale),
-        traffic=scale.traffic(),
-        warmup_ms=scale.warmup_ms,
-        seed=scale.seed + 1000 + seed_offset,
-        failure=failure,
-        node_classes=node_classes,
-    )
+    spec = _spec(scale, factory, failure, node_classes, cluster, seed_offset)
     return run_experiment(model, spec)
 
 
@@ -139,13 +161,22 @@ def section51_table(scale: Scale = QUICK) -> List[Dict]:
 
 
 def figure4(
-    scale: Scale = QUICK, params: ScenarioParams = DEFAULT_PARAMS
+    scale: Scale = QUICK,
+    params: ScenarioParams = DEFAULT_PARAMS,
+    workers: Optional[int] = 1,
+    replications: int = 1,
+    progress: Optional[ProgressFn] = None,
 ) -> List[Dict]:
     """Traffic concentration on the top-5% connections.
 
     The paper plots the structures geographically and reports the top-5%
     share in the caption: Flat/eager 7%, Radius 37%, Ranked 30%.  Radius
     here uses the pseudo-geographic (distance) oracle, as in Fig. 4.
+
+    ``replications > 1`` runs every series under that many independent
+    seeds (section 5.4 discipline) and reports ``mean``/``hw`` (95%
+    half-width) columns instead of single-run values.  All runs -- series
+    x replications -- are fanned over ``workers`` at once.
     """
     model = build_model(scale)
     distance_params = replace(
@@ -156,15 +187,48 @@ def figure4(
         ("radius", radius_factory(distance_params, metric="distance"), 1),
         ("ranked", ranked_factory(params), 2),
     ]
-    rows = []
-    for label, factory, offset in series:
-        result = _run(scale, factory, seed_offset=offset)
-        rows.append(
+    if replications <= 1:
+        specs = [
+            _spec(scale, factory, seed_offset=offset)
+            for _, factory, offset in series
+        ]
+        results = run_experiments(model, specs, workers=workers, progress=progress)
+        return [
             {
                 "series": label,
                 "top5_share_pct": result.summary.top_link_share * 100.0,
                 "payload_per_msg": result.summary.payload_per_delivery,
                 "latency_ms": result.summary.mean_latency_ms,
+            }
+            for (label, _, _), result in zip(series, results)
+        ]
+
+    # Replicated sweep: one flat batch of series x replications specs,
+    # aggregated per series in replication order (bit-identical for any
+    # worker count).
+    batches = [
+        replication_specs(_spec(scale, factory, seed_offset=offset), replications)
+        for _, factory, offset in series
+    ]
+    flat_specs = [spec for batch in batches for spec in batch]
+    results = run_experiments(model, flat_specs, workers=workers, progress=progress)
+    rows = []
+    for position, (label, _, _) in enumerate(series):
+        chunk = results[position * replications : (position + 1) * replications]
+        intervals = aggregate_summaries(result.summary for result in chunk)
+        latency_mean, latency_hw = intervals["mean_latency_ms"]
+        payload_mean, payload_hw = intervals["payload_per_delivery"]
+        share_mean, share_hw = intervals["top_link_share"]
+        rows.append(
+            {
+                "series": label,
+                "replications": replications,
+                "top5_share_pct": share_mean * 100.0,
+                "top5_share_hw": share_hw * 100.0,
+                "payload_per_msg": payload_mean,
+                "payload_hw": payload_hw,
+                "latency_ms": latency_mean,
+                "latency_hw": latency_hw,
             }
         )
     return rows
@@ -198,40 +262,44 @@ def figure5a(
     params: ScenarioParams = DEFAULT_PARAMS,
     flat_probabilities: Optional[List[float]] = None,
     ttl_rounds: Optional[List[int]] = None,
+    workers: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
 ) -> List[Dict]:
     """The latency/bandwidth trade-off of every strategy."""
     flat_probabilities = flat_probabilities or [0.0, 0.1, 0.25, 0.5, 0.75, 1.0]
     ttl_rounds = ttl_rounds or [1, 2, 3, 4]
-    rows: List[Dict] = []
-    offset = 0
-
-    for p in flat_probabilities:
-        result = _run(scale, flat_factory(p), seed_offset=offset)
-        offset += 1
-        rows.append(_tradeoff_row("flat", f"p={p}", result))
-
-    for u in ttl_rounds:
-        result = _run(scale, ttl_factory(u), seed_offset=offset)
-        offset += 1
-        rows.append(_tradeoff_row("TTL", f"u={u}", result))
-
-    result = _run(scale, radius_factory(params), seed_offset=offset)
-    offset += 1
-    rows.append(_tradeoff_row("radius", f"rho={params.radius_ms}ms", result))
-
+    model = build_model(scale)
     classes = best_low_classes(params.ranked_fraction)
-    result = _run(
-        scale, ranked_factory(params), node_classes=classes, seed_offset=offset
-    )
-    rows.append(_tradeoff_row("ranked (all)", "", result))
-    low_latency, _ = result.class_latencies["low"]
+
+    # (series, param, spec) per sweep point; offsets follow enumeration
+    # order, matching the historic serial loop's seeds exactly.
+    points: List[tuple] = []
+    for p in flat_probabilities:
+        points.append(("flat", f"p={p}", flat_factory(p), None))
+    for u in ttl_rounds:
+        points.append(("TTL", f"u={u}", ttl_factory(u), None))
+    points.append(("radius", f"rho={params.radius_ms}ms", radius_factory(params), None))
+    points.append(("ranked (all)", "", ranked_factory(params), classes))
+
+    specs = [
+        _spec(scale, factory, node_classes=node_classes, seed_offset=offset)
+        for offset, (_, _, factory, node_classes) in enumerate(points)
+    ]
+    results = run_experiments(model, specs, workers=workers, progress=progress)
+
+    rows: List[Dict] = []
+    for (series, param, _, _), result in zip(points, results):
+        rows.append(_tradeoff_row(series, param, result))
+
+    ranked_result = results[-1]
+    low_latency, _ = ranked_result.class_latencies["low"]
     rows.append(
         {
             "series": "ranked (low)",
             "param": "",
-            "payload_per_msg": result.class_rates["low"],
+            "payload_per_msg": ranked_result.class_rates["low"],
             "latency_ms": low_latency,
-            "delivery_pct": result.summary.delivery_ratio * 100.0,
+            "delivery_pct": ranked_result.summary.delivery_ratio * 100.0,
         }
     )
     return rows
@@ -254,6 +322,8 @@ def figure5b(
     scale: Scale = QUICK,
     params: ScenarioParams = DEFAULT_PARAMS,
     dead_fractions: Optional[List[float]] = None,
+    workers: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
 ) -> List[Dict]:
     """Mean deliveries vs share of dead nodes.
 
@@ -270,8 +340,8 @@ def figure5b(
         ("ranked/random", ranked_factory(params), "random"),
         ("ranked/ranked", ranked_factory(params), "best"),
     ]
-    rows = []
-    offset = 0
+    points: List[tuple] = []
+    specs: List[ExperimentSpec] = []
     for label, factory, target in series:
         for fraction in dead_fractions:
             failure = None
@@ -281,16 +351,19 @@ def figure5b(
                     target=target,
                     ranked_nodes=closeness_order if target == "best" else None,
                 )
-            result = _run(scale, factory, failure=failure, seed_offset=offset)
-            offset += 1
-            rows.append(
-                {
-                    "series": label,
-                    "dead_pct": fraction * 100.0,
-                    "deliveries_pct": result.summary.delivery_ratio * 100.0,
-                }
+            points.append((label, fraction))
+            specs.append(
+                _spec(scale, factory, failure=failure, seed_offset=len(specs))
             )
-    return rows
+    results = run_experiments(model, specs, workers=workers, progress=progress)
+    return [
+        {
+            "series": label,
+            "dead_pct": fraction * 100.0,
+            "deliveries_pct": result.summary.delivery_ratio * 100.0,
+        }
+        for (label, fraction), result in zip(points, results)
+    ]
 
 
 # -- figure 5(c): the hybrid strategy ---------------------------------------------
@@ -300,22 +373,27 @@ def figure5c(
     scale: Scale = QUICK,
     params: ScenarioParams = DEFAULT_PARAMS,
     ttl_rounds: Optional[List[int]] = None,
+    workers: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
 ) -> List[Dict]:
     """TTL sweep vs the combined strategy, split by node class."""
     ttl_rounds = ttl_rounds or [1, 2, 3, 4]
+    model = build_model(scale)
     classes = best_low_classes(params.ranked_fraction)
-    rows: List[Dict] = []
-    offset = 0
 
-    for u in ttl_rounds:
-        result = _run(scale, ttl_factory(u), node_classes=classes, seed_offset=offset)
-        offset += 1
-        rows.append(_tradeoff_row("TTL", f"u={u}", result))
+    points: List[tuple] = [("TTL", f"u={u}", ttl_factory(u)) for u in ttl_rounds]
+    points.append(("combined (all)", "", hybrid_factory(params)))
+    specs = [
+        _spec(scale, factory, node_classes=classes, seed_offset=offset)
+        for offset, (_, _, factory) in enumerate(points)
+    ]
+    results = run_experiments(model, specs, workers=workers, progress=progress)
 
-    result = _run(
-        scale, hybrid_factory(params), node_classes=classes, seed_offset=offset
-    )
-    rows.append(_tradeoff_row("combined (all)", "", result))
+    rows: List[Dict] = [
+        _tradeoff_row(series, param, result)
+        for (series, param, _), result in zip(points, results)
+    ]
+    result = results[-1]
     low_latency, _ = result.class_latencies["low"]
     rows.append(
         {
@@ -346,6 +424,8 @@ def figure6(
     scale: Scale = QUICK,
     params: ScenarioParams = DEFAULT_PARAMS,
     noise_levels: Optional[List[float]] = None,
+    workers: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
 ) -> List[Dict]:
     """Noise sweep feeding all three panels of Fig. 6.
 
@@ -364,31 +444,40 @@ def figure6(
         "radius": radius_factory(params),
         "ranked": ranked_factory(params),
     }
-    rows = []
-    offset = 0
+    points: List[tuple] = []
+    specs: List[ExperimentSpec] = []
     for label, base in bases.items():
         for noise in noise_levels:
             factory = noisy_factory(base, noise, calibrations[label])
-            result = _run(scale, factory, node_classes=classes, seed_offset=offset)
-            offset += 1
-            rows.append(
-                {
-                    "series": label,
-                    "noise_pct": noise * 100.0,
-                    "payload_per_msg": result.summary.payload_per_delivery,
-                    "payload_low": result.class_rates["low"],
-                    "latency_ms": result.summary.mean_latency_ms,
-                    "top5_share_pct": result.summary.top_link_share * 100.0,
-                }
+            points.append((label, noise))
+            specs.append(
+                _spec(scale, factory, node_classes=classes, seed_offset=len(specs))
             )
-    return rows
+    results = run_experiments(model, specs, workers=workers, progress=progress)
+    return [
+        {
+            "series": label,
+            "noise_pct": noise * 100.0,
+            "payload_per_msg": result.summary.payload_per_delivery,
+            "payload_low": result.class_rates["low"],
+            "latency_ms": result.summary.mean_latency_ms,
+            "top5_share_pct": result.summary.top_link_share * 100.0,
+        }
+        for (label, noise), result in zip(points, results)
+    ]
 
 
 # -- section 5.4: run statistics ---------------------------------------------------
 
 
-def section54_statistics(scale: Scale = QUICK) -> List[Dict]:
-    """Traffic accounting of an eager run (deliveries, packets, links)."""
+def section54_statistics(
+    scale: Scale = QUICK, workers: Optional[int] = 1
+) -> List[Dict]:
+    """Traffic accounting of an eager run (deliveries, packets, links).
+
+    A single run: ``workers`` is accepted for interface uniformity but
+    has nothing to fan out.
+    """
     result = _run(scale, flat_factory(1.0))
     recorder = result.recorder
     connections_used = len(recorder.link_payload_counts)

@@ -1,0 +1,154 @@
+"""Golden-trace digests: exact fingerprints of canonical runs.
+
+The parallel experiment engine promises bit-identical results for any
+worker count (see :mod:`repro.experiments.parallel`).  That promise is
+only as good as the tests enforcing it, so this module computes a
+compact digest of everything a run's determinism rests on:
+
+- **event order** -- the recorder's multicast and delivery streams in
+  insertion order, hashed with exact (``float.hex``) timestamps;
+- **per-node delivery latencies** -- count and exact latency sum per
+  node;
+- **payload counts** -- payload packets per directed link, plus the
+  headline totals;
+- **summary metrics** -- the aggregated :class:`RunSummary` values, hex
+  encoded so no formatting rounds them.
+
+Digests for the five canonical strategy configurations (Flat, TTL,
+Radius, Ranked, Hybrid) are pinned as JSON under ``tests/golden/``; the
+regression test recomputes them serially and through the process pool
+and compares all three.  Regenerate intentionally with
+``pytest tests/experiments/test_golden_traces.py --update-golden``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+from repro.experiments.parallel import run_experiments
+from repro.experiments.runner import ExperimentResult, ExperimentSpec
+from repro.experiments.scenarios import (
+    ScenarioParams,
+    flat_factory,
+    hybrid_factory,
+    radius_factory,
+    ranked_factory,
+    ttl_factory,
+)
+from repro.experiments.workload import TrafficConfig
+from repro.gossip.config import GossipConfig
+from repro.runtime.cluster import ClusterConfig
+from repro.topology.routing import ClientNetworkModel
+from repro.topology.simple import complete_topology
+
+#: Scenario parameters sized to the canonical 16-node model: a radius
+#: below the 20 ms mean latency actually splits close from far pairs.
+CANONICAL_PARAMS = ScenarioParams(
+    radius_ms=18.0,
+    radius_first_delay_ms=40.0,
+    hybrid_radius_ms=18.0,
+)
+
+#: The canonical strategy configurations, one golden file each.
+CANONICAL_STRATEGIES = {
+    "flat": lambda: flat_factory(0.5),
+    "ttl": lambda: ttl_factory(2),
+    "radius": lambda: radius_factory(CANONICAL_PARAMS),
+    "ranked": lambda: ranked_factory(CANONICAL_PARAMS),
+    "hybrid": lambda: hybrid_factory(CANONICAL_PARAMS),
+}
+
+
+def canonical_model() -> ClientNetworkModel:
+    """The tiny, fully deterministic model golden traces run on."""
+    return complete_topology(16, latency_ms=20.0, jitter_ms=4.0, seed=7)
+
+
+def canonical_spec(name: str) -> ExperimentSpec:
+    """The pinned experiment spec for one canonical configuration."""
+    if name not in CANONICAL_STRATEGIES:
+        raise ValueError(
+            f"unknown canonical config {name!r}; "
+            f"choose from {sorted(CANONICAL_STRATEGIES)}"
+        )
+    return ExperimentSpec(
+        strategy_factory=CANONICAL_STRATEGIES[name](),
+        cluster=ClusterConfig(gossip=GossipConfig.for_population(16)),
+        traffic=TrafficConfig(messages=10, mean_interval_ms=120.0),
+        warmup_ms=1_500.0,
+        drain_ms=2_500.0,
+        seed=23,
+    )
+
+
+def _hex(value: float) -> str:
+    """Exact, JSON-safe float encoding (NaN-tolerant)."""
+    value = float(value)
+    if value != value:
+        return "nan"
+    return value.hex()
+
+
+def trace_digest(result: ExperimentResult) -> Dict[str, object]:
+    """Compact exact digest of one run's observable behaviour."""
+    recorder = result.recorder
+
+    events = hashlib.sha256()
+    for message_id, (origin, at) in recorder.multicasts.items():
+        events.update(f"m|{message_id}|{origin}|{_hex(at)}\n".encode())
+    for message_id, per_node in recorder.deliveries.items():
+        for node, at in per_node.items():
+            events.update(f"d|{message_id}|{node}|{_hex(at)}\n".encode())
+
+    latencies = hashlib.sha256()
+    per_node_latency: Dict[int, List[float]] = {}
+    for message_id, per_node in recorder.deliveries.items():
+        _, sent_at = recorder.multicasts.get(message_id, (None, None))
+        if sent_at is None:
+            continue
+        for node, at in per_node.items():
+            per_node_latency.setdefault(node, []).append(at - sent_at)
+    for node in sorted(per_node_latency):
+        values = per_node_latency[node]
+        latencies.update(
+            f"{node}|{len(values)}|{_hex(sum(values))}\n".encode()
+        )
+
+    links = hashlib.sha256()
+    for link in sorted(recorder.link_payload_counts):
+        count = recorder.link_payload_counts[link]
+        links.update(f"{link[0]}->{link[1]}|{count}\n".encode())
+
+    summary = result.summary
+    return {
+        "event_digest": events.hexdigest(),
+        "per_node_latency_digest": latencies.hexdigest(),
+        "link_payload_digest": links.hexdigest(),
+        "multicasts": recorder.message_count,
+        "deliveries": recorder.delivery_count,
+        "payload_packets": recorder.payload_transmissions,
+        "links_used": len(recorder.link_payload_counts),
+        "summary": {
+            "mean_latency_ms": _hex(summary.mean_latency_ms),
+            "payload_per_delivery": _hex(summary.payload_per_delivery),
+            "delivery_ratio": _hex(summary.delivery_ratio),
+            "top_link_share": _hex(summary.top_link_share),
+        },
+    }
+
+
+def compute_golden(
+    name: str, workers: Optional[int] = 1
+) -> Dict[str, object]:
+    """Run one canonical configuration and digest its trace.
+
+    ``workers`` routes the (single) run through the engine; with
+    ``workers > 1`` the run executes inside a pool worker, which is
+    exactly what the serial-equals-parallel assertions exercise.
+    """
+    model = canonical_model()
+    results = run_experiments(model, [canonical_spec(name)], workers=workers)
+    digest = trace_digest(results[0])
+    digest["config"] = name
+    return digest

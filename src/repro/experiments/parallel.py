@@ -1,0 +1,261 @@
+"""Parallel experiment engine.
+
+Replicated studies and figure sweeps are embarrassingly parallel: every
+run is an independent discrete-event simulation fully determined by
+``(model, spec)``.  This module fans such runs out over a
+:class:`concurrent.futures.ProcessPoolExecutor` while keeping results
+**bit-identical** to serial execution:
+
+- *Seeds are derived before dispatch.*  Callers (e.g.
+  :func:`repro.experiments.replication.run_replicated`) enumerate every
+  spec -- including its seed -- up front, so nothing about the outcome
+  depends on which worker runs which spec, or in which order workers
+  finish.
+- *Results are collected by submission index*, so aggregation order (and
+  therefore floating-point reduction order) matches the serial loop
+  exactly.
+- *The serial fallback rule*: with ``workers=1`` (the default) no pool
+  is created at all -- specs run inline in the calling process, so
+  single-process results cannot even in principle diverge from the
+  pre-engine behaviour.
+
+Payloads must pickle: :class:`~repro.experiments.runner.ExperimentSpec`
+is built from frozen dataclasses (see
+:mod:`repro.experiments.scenarios`) and the network model serialises as
+plain data.  A spec that does not pickle (e.g. a lambda strategy
+factory) fails fast in the parent with the offending spec attached.
+
+Child failures do not poison the pool: the worker catches everything and
+ships the traceback text home, where it is re-raised as
+:class:`ParallelExecutionError` carrying the failing spec.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import traceback
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.experiments.runner import ExperimentResult, ExperimentSpec, run_experiment
+from repro.topology.routing import ClientNetworkModel
+
+#: Progress callback signature: ``(completed_count, total, item)`` where
+#: ``item`` is the spec/task that just finished.  Called in the *parent*
+#: process, in completion order (nondeterministic under ``workers > 1``;
+#: results themselves are always returned in submission order).
+ProgressFn = Callable[[int, int, Any], None]
+
+
+class ParallelExecutionError(RuntimeError):
+    """A spec/task failed (in a worker or during dispatch).
+
+    ``spec`` is the failing payload; ``child_traceback`` the formatted
+    traceback from the failing run -- worker-process or inline (empty
+    only for dispatch-side errors such as unpicklable payloads).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        spec: Any = None,
+        child_traceback: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.spec = spec
+        self.child_traceback = child_traceback
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a worker-count request.
+
+    ``None`` or ``0`` means "one per available CPU"; anything else must
+    be a positive integer.
+    """
+    if workers is None or workers == 0:
+        return max(1, os.cpu_count() or 1)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _check_picklable(item: Any, what: str) -> None:
+    """Fail fast, with context, before a pool submit would fail opaquely."""
+    try:
+        pickle.dumps(item)
+    except Exception as exc:
+        raise ParallelExecutionError(
+            f"{what} is not picklable and cannot be dispatched to a "
+            f"worker process: {exc}",
+            spec=item,
+        ) from exc
+
+
+# -- experiment fan-out ------------------------------------------------------------
+
+# The model is shipped once per worker via the pool initializer instead
+# of once per task; sweeps reuse one model across dozens of specs.
+_WORKER_MODEL: Optional[ClientNetworkModel] = None
+
+
+def _init_worker(model: ClientNetworkModel) -> None:
+    global _WORKER_MODEL
+    _WORKER_MODEL = model
+
+
+def _run_spec_in_worker(index: int, spec: ExperimentSpec):
+    """Pool task: run one spec against the worker's model.
+
+    Returns ``(index, result, None)`` or ``(index, None, traceback_text)``
+    -- exceptions never cross the pickle boundary raw, so a failing spec
+    cannot wedge the pool on an unpicklable exception type.
+    """
+    try:
+        return index, run_experiment(_WORKER_MODEL, spec), None
+    except BaseException:
+        return index, None, traceback.format_exc()
+
+
+def run_experiments(
+    model: ClientNetworkModel,
+    specs: Sequence[ExperimentSpec],
+    workers: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
+) -> List[ExperimentResult]:
+    """Run every spec against ``model``; results in submission order.
+
+    ``workers=1`` (default) runs inline -- bit-identical to the historic
+    serial loop.  ``workers=None`` / ``0`` uses one worker per CPU.  Any
+    failing spec raises :class:`ParallelExecutionError` with the spec
+    attached.
+    """
+    workers = resolve_workers(workers)
+    specs = list(specs)
+    total = len(specs)
+    if total == 0:
+        return []
+
+    if workers == 1:
+        results: List[ExperimentResult] = []
+        for index, spec in enumerate(specs):
+            try:
+                results.append(run_experiment(model, spec))
+            except Exception as exc:
+                raise ParallelExecutionError(
+                    f"experiment {index + 1}/{total} failed: {exc}",
+                    spec=spec,
+                    child_traceback=traceback.format_exc(),
+                ) from exc
+            if progress is not None:
+                progress(index + 1, total, spec)
+        return results
+
+    _check_picklable(model, "network model")
+    for spec in specs:
+        _check_picklable(spec, "experiment spec")
+
+    slots: List[Optional[ExperimentResult]] = [None] * total
+    done = 0
+    with ProcessPoolExecutor(
+        max_workers=min(workers, total),
+        initializer=_init_worker,
+        initargs=(model,),
+    ) as pool:
+        futures = {
+            pool.submit(_run_spec_in_worker, index, spec): spec
+            for index, spec in enumerate(specs)
+        }
+        pending = set(futures)
+        while pending:
+            completed, pending = wait(pending, return_when=FIRST_EXCEPTION)
+            for future in completed:
+                index, result, child_tb = future.result()
+                if child_tb is not None:
+                    for other in pending:
+                        other.cancel()
+                    raise ParallelExecutionError(
+                        f"experiment {index + 1}/{total} failed in a "
+                        f"worker process:\n{child_tb}",
+                        spec=futures[future],
+                        child_traceback=child_tb,
+                    )
+                slots[index] = result
+                done += 1
+                if progress is not None:
+                    progress(done, total, futures[future])
+    return slots  # type: ignore[return-value]
+
+
+# -- generic task fan-out ----------------------------------------------------------
+
+
+def _call_task_in_worker(index: int, task: Callable[[], Any]):
+    try:
+        return index, task(), None
+    except BaseException:
+        return index, None, traceback.format_exc()
+
+
+def run_tasks(
+    tasks: Sequence[Callable[[], Any]],
+    workers: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
+) -> List[Any]:
+    """Run zero-argument callables; results in submission order.
+
+    The generic escape hatch for work that is not an
+    :class:`ExperimentSpec` -- stability timelines, benchmark sweep
+    points.  Tasks must pickle under ``workers > 1``; use
+    :func:`functools.partial` over module-level functions, not lambdas.
+    """
+    workers = resolve_workers(workers)
+    tasks = list(tasks)
+    total = len(tasks)
+    if total == 0:
+        return []
+
+    if workers == 1:
+        results: List[Any] = []
+        for index, task in enumerate(tasks):
+            try:
+                results.append(task())
+            except Exception as exc:
+                raise ParallelExecutionError(
+                    f"task {index + 1}/{total} failed: {exc}",
+                    spec=task,
+                    child_traceback=traceback.format_exc(),
+                ) from exc
+            if progress is not None:
+                progress(index + 1, total, task)
+        return results
+
+    for task in tasks:
+        _check_picklable(task, "task")
+
+    slots: List[Any] = [None] * total
+    done = 0
+    with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
+        futures = {
+            pool.submit(_call_task_in_worker, index, task): task
+            for index, task in enumerate(tasks)
+        }
+        pending = set(futures)
+        while pending:
+            completed, pending = wait(pending, return_when=FIRST_EXCEPTION)
+            for future in completed:
+                index, result, child_tb = future.result()
+                if child_tb is not None:
+                    for other in pending:
+                        other.cancel()
+                    raise ParallelExecutionError(
+                        f"task {index + 1}/{total} failed in a worker "
+                        f"process:\n{child_tb}",
+                        spec=futures[future],
+                        child_traceback=child_tb,
+                    )
+                slots[index] = result
+                done += 1
+                if progress is not None:
+                    progress(done, total, futures[future])
+    return slots

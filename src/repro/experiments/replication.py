@@ -9,10 +9,12 @@ the non-overlap comparison between two replicated configurations.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.experiments.parallel import ProgressFn, run_experiments
+from repro.experiments.runner import ExperimentSpec
 from repro.metrics.confidence import intervals_overlap, mean_confidence_interval
 from repro.topology.routing import ClientNetworkModel
 
@@ -42,32 +44,62 @@ class ReplicatedResult:
         }
 
     def differs_from(self, other: "ReplicatedResult", metric: str) -> bool:
-        """The paper's relevance criterion: disjoint 95% intervals."""
-        return not intervals_overlap(
-            self.intervals[metric], other.intervals[metric]
-        )
+        """The paper's relevance criterion: disjoint 95% intervals.
+
+        Degenerate intervals support no difference claim: a NaN mean
+        (nothing delivered) or an infinite half-width (a single
+        replication) always reads as "not relevantly different".
+        """
+        mine, theirs = self.intervals[metric], other.intervals[metric]
+        if any(math.isnan(v) for pair in (mine, theirs) for v in pair):
+            return False
+        return not intervals_overlap(mine, theirs)
+
+
+def replication_specs(
+    spec: ExperimentSpec, replications: int
+) -> List[ExperimentSpec]:
+    """The per-replication specs, seeds derived *before* any dispatch.
+
+    Seed derivation happening up front -- not inside workers -- is what
+    makes the replicated study independent of worker count and
+    scheduling order (see :mod:`repro.experiments.parallel`).
+    """
+    if replications < 2:
+        raise ValueError("replications must be >= 2 for interval estimates")
+    return [
+        replace(spec, seed=spec.seed + 10_000 * (index + 1))
+        for index in range(replications)
+    ]
+
+
+def aggregate_summaries(summaries) -> Dict[str, Tuple[float, float]]:
+    """Per-metric ``(mean, 95% half-width)`` over run summaries, in order."""
+    samples: Dict[str, List[float]] = {metric: [] for metric in METRICS}
+    for summary in summaries:
+        for metric in METRICS:
+            samples[metric].append(float(getattr(summary, metric)))
+    return {
+        metric: mean_confidence_interval(values)
+        for metric, values in samples.items()
+    }
 
 
 def run_replicated(
     model: ClientNetworkModel,
     spec: ExperimentSpec,
     replications: int = 5,
+    workers: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
 ) -> ReplicatedResult:
     """Run ``spec`` under ``replications`` independent seeds.
 
     Seeds are derived from the spec's base seed, so the whole replicated
-    study is itself reproducible.
+    study is itself reproducible.  ``workers > 1`` fans the replications
+    over a process pool; aggregation order follows replication index, so
+    the resulting intervals are bit-identical for every worker count.
     """
-    if replications < 2:
-        raise ValueError("replications must be >= 2 for interval estimates")
-    samples: Dict[str, List[float]] = {metric: [] for metric in METRICS}
-    for index in range(replications):
-        run_spec = replace(spec, seed=spec.seed + 10_000 * (index + 1))
-        summary = run_experiment(model, run_spec).summary
-        for metric in METRICS:
-            samples[metric].append(float(getattr(summary, metric)))
-    intervals = {
-        metric: mean_confidence_interval(values)
-        for metric, values in samples.items()
-    }
+    specs = replication_specs(spec, replications)
+    results = run_experiments(model, specs, workers=workers, progress=progress)
+    intervals = aggregate_summaries(result.summary for result in results)
     return ReplicatedResult(replications=replications, intervals=intervals)

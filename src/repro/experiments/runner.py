@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.failures.churn import ChurnConfig, ChurnProcess
 from repro.failures.gray import GrayFailureInjector, GrayFailurePlan
 from repro.failures.injection import FailureInjector, FailurePlan
 from repro.metrics.analysis import (
@@ -45,6 +46,9 @@ class ExperimentSpec:
     #: Gray failures (slow nodes, lossy links, flappy nodes), applied at
     #: the same instant as crash failures: after warmup, before logging.
     gray: Optional[GrayFailurePlan] = None
+    #: Continuous churn (kills + crash-restarts) running through the
+    #: measured traffic phase; started after warmup, stopped at drain.
+    churn: Optional[ChurnConfig] = None
     node_classes: Optional[NodeClassesFn] = None
 
 
@@ -100,11 +104,18 @@ def run_experiment(
         GrayFailureInjector(cluster).apply(spec.gray)
     alive = cluster.alive_nodes
 
+    churn: Optional[ChurnProcess] = None
+    if spec.churn is not None:
+        churn = ChurnProcess(cluster, spec.churn)
+        churn.start()
+
     recorder.enable()
     generator = TrafficGenerator(cluster, senders=alive, config=spec.traffic)
     generator.start()
     while not generator.finished:
         cluster.run_for(10.0 * spec.traffic.mean_interval_ms)
+    if churn is not None:
+        churn.stop()
     cluster.run_for(spec.drain_ms)
     recorder.disable()
     cluster.stop()
@@ -127,6 +138,10 @@ def run_experiment(
     )
 
     recovery = cluster.recovery_counters()
+    if churn is not None:
+        recovery["churn_kills"] = churn.kills
+        recovery["churn_revivals"] = churn.revivals
+        recovery["churn_restarts"] = churn.restarts
     for name, value in recovery.items():
         recorder.record_recovery(name, value)
 

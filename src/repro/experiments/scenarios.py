@@ -1,7 +1,13 @@
 """Named strategy factories with the paper's parameters.
 
-Factories close over scenario parameters and build one strategy per
-node from its :class:`~repro.runtime.node.StrategyContext`.  The oracle
+Factories are small frozen dataclasses that carry scenario parameters
+and build one strategy per node from its
+:class:`~repro.runtime.node.StrategyContext` when called.  Being
+module-level classes (rather than closures) they pickle, so an
+:class:`~repro.experiments.runner.ExperimentSpec` can cross a process
+boundary into the parallel experiment engine
+(:mod:`repro.experiments.parallel`).  The ``*_factory`` constructors
+remain the public way to build them.  The oracle
 variants read the model file (the paper's evaluation mode, section 4.3);
 ``radius_measured_factory`` / ``ranked_gossip_factory`` use the runtime
 monitor and the gossip ranking instead, for the monitor-quality
@@ -68,150 +74,211 @@ def _oracle_ranking(model: ClientNetworkModel, fraction: float) -> OracleRanking
     return ranking
 
 
-def best_low_classes(
-    fraction: float = DEFAULT_PARAMS.ranked_fraction,
-) -> Callable[[ClientNetworkModel], Dict[str, List[int]]]:
-    """Node-classes function splitting best hubs from regular nodes.
+@dataclass(frozen=True)
+class BestLowClasses:
+    """Node-classes callable splitting best hubs from regular nodes.
 
     Feeds the "ranked (low)" / "combined (low)" series: per-class payload
-    contribution and latency.
+    contribution and latency.  Picklable, unlike a closure.
     """
 
-    def classes(model: ClientNetworkModel) -> Dict[str, List[int]]:
-        ranking = _oracle_ranking(model, fraction)
+    fraction: float = DEFAULT_PARAMS.ranked_fraction
+
+    def __call__(self, model: ClientNetworkModel) -> Dict[str, List[int]]:
+        ranking = _oracle_ranking(model, self.fraction)
         best = sorted(ranking.best_nodes)
         low = [n for n in range(model.size) if n not in ranking.best_nodes]
         return {"best": best, "low": low}
 
-    return classes
+
+def best_low_classes(
+    fraction: float = DEFAULT_PARAMS.ranked_fraction,
+) -> Callable[[ClientNetworkModel], Dict[str, List[int]]]:
+    """Node-classes function splitting best hubs from regular nodes."""
+    return BestLowClasses(fraction)
 
 
 # -- factories ---------------------------------------------------------------
 
 
-def flat_factory(probability: float) -> StrategyFactory:
+@dataclass(frozen=True)
+class FlatFactory:
     """Flat(p): the latency/bandwidth baseline."""
 
-    def build(ctx: StrategyContext) -> FlatStrategy:
-        return FlatStrategy(probability, ctx.rng, ctx.retry_period_ms)
+    probability: float
 
-    return build
+    def __call__(self, ctx: StrategyContext) -> FlatStrategy:
+        return FlatStrategy(self.probability, ctx.rng, ctx.retry_period_ms)
+
+
+def flat_factory(probability: float) -> StrategyFactory:
+    """Flat(p): the latency/bandwidth baseline."""
+    return FlatFactory(probability)
+
+
+@dataclass(frozen=True)
+class TtlFactory:
+    """TTL(u): eager during the first rounds."""
+
+    eager_rounds: int
+
+    def __call__(self, ctx: StrategyContext) -> TtlStrategy:
+        return TtlStrategy(self.eager_rounds, ctx.retry_period_ms)
 
 
 def ttl_factory(eager_rounds: int) -> StrategyFactory:
     """TTL(u): eager during the first rounds."""
-
-    def build(ctx: StrategyContext) -> TtlStrategy:
-        return TtlStrategy(eager_rounds, ctx.retry_period_ms)
-
-    return build
+    return TtlFactory(eager_rounds)
 
 
-def radius_factory(
-    params: ScenarioParams = DEFAULT_PARAMS, metric: str = "latency"
-) -> StrategyFactory:
+@dataclass(frozen=True)
+class RadiusFactory:
     """Radius(rho) with an oracle monitor.
 
     ``metric`` selects the oracle: ``"latency"`` (performance runs) or
     ``"distance"`` (the pseudo-geographic demonstration of Fig. 4, where
     the radius is interpreted in plane units).
     """
-    if metric not in ("latency", "distance"):
-        raise ValueError(f"unknown metric {metric!r}")
 
-    def build(ctx: StrategyContext) -> RadiusStrategy:
-        if metric == "latency":
+    params: ScenarioParams = DEFAULT_PARAMS
+    metric: str = "latency"
+
+    def __post_init__(self) -> None:
+        if self.metric not in ("latency", "distance"):
+            raise ValueError(f"unknown metric {self.metric!r}")
+
+    def __call__(self, ctx: StrategyContext) -> RadiusStrategy:
+        if self.metric == "latency":
             monitor = OracleLatencyMonitor(ctx.model, ctx.node)
         else:
             monitor = OracleDistanceMonitor(ctx.model, ctx.node)
         return RadiusStrategy(
             monitor,
-            radius=params.radius_ms,
-            first_request_delay_ms=params.radius_first_delay_ms,
+            radius=self.params.radius_ms,
+            first_request_delay_ms=self.params.radius_first_delay_ms,
             retry_period_ms=ctx.retry_period_ms,
         )
 
-    return build
 
-
-def radius_measured_factory(
-    params: ScenarioParams = DEFAULT_PARAMS,
+def radius_factory(
+    params: ScenarioParams = DEFAULT_PARAMS, metric: str = "latency"
 ) -> StrategyFactory:
+    """Radius(rho) with an oracle monitor."""
+    return RadiusFactory(params, metric)
+
+
+@dataclass(frozen=True)
+class RadiusMeasuredFactory:
     """Radius(rho) driven by the runtime latency monitor.
 
     Requires ``ClusterConfig(enable_latency_monitor=True)``.
     """
 
-    def build(ctx: StrategyContext) -> RadiusStrategy:
+    params: ScenarioParams = DEFAULT_PARAMS
+
+    def __call__(self, ctx: StrategyContext) -> RadiusStrategy:
         if ctx.latency_monitor is None:
             raise ValueError(
                 "radius_measured_factory needs enable_latency_monitor=True"
             )
         return RadiusStrategy(
             ctx.latency_monitor,
-            radius=params.radius_ms,
-            first_request_delay_ms=params.radius_first_delay_ms,
+            radius=self.params.radius_ms,
+            first_request_delay_ms=self.params.radius_first_delay_ms,
             retry_period_ms=ctx.retry_period_ms,
         )
 
-    return build
+
+def radius_measured_factory(
+    params: ScenarioParams = DEFAULT_PARAMS,
+) -> StrategyFactory:
+    """Radius(rho) driven by the runtime latency monitor."""
+    return RadiusMeasuredFactory(params)
+
+
+@dataclass(frozen=True)
+class RankedFactory:
+    """Ranked with the oracle (model-file) best-node set."""
+
+    params: ScenarioParams = DEFAULT_PARAMS
+
+    def __call__(self, ctx: StrategyContext) -> RankedStrategy:
+        ranking = _oracle_ranking(ctx.model, self.params.ranked_fraction)
+        return RankedStrategy(ctx.node, ranking, ctx.retry_period_ms)
 
 
 def ranked_factory(params: ScenarioParams = DEFAULT_PARAMS) -> StrategyFactory:
     """Ranked with the oracle (model-file) best-node set."""
-
-    def build(ctx: StrategyContext) -> RankedStrategy:
-        ranking = _oracle_ranking(ctx.model, params.ranked_fraction)
-        return RankedStrategy(ctx.node, ranking, ctx.retry_period_ms)
-
-    return build
+    return RankedFactory(params)
 
 
-def ranked_gossip_factory() -> StrategyFactory:
+@dataclass(frozen=True)
+class RankedGossipFactory:
     """Ranked with the distributed gossip ranking.
 
     Requires ``ClusterConfig(enable_gossip_ranking=True)``; each node
     trusts its own (approximate, converging) view of the best set.
     """
 
-    def build(ctx: StrategyContext) -> RankedStrategy:
+    def __call__(self, ctx: StrategyContext) -> RankedStrategy:
         if ctx.ranking is None:
             raise ValueError(
                 "ranked_gossip_factory needs enable_gossip_ranking=True"
             )
         return RankedStrategy(ctx.node, ctx.ranking, ctx.retry_period_ms)
 
-    return build
+
+def ranked_gossip_factory() -> StrategyFactory:
+    """Ranked with the distributed gossip ranking."""
+    return RankedGossipFactory()
 
 
-def hybrid_factory(params: ScenarioParams = DEFAULT_PARAMS) -> StrategyFactory:
+@dataclass(frozen=True)
+class HybridFactory:
     """The section 6.4 combined strategy (oracle-driven)."""
 
-    def build(ctx: StrategyContext) -> HybridStrategy:
-        ranking = _oracle_ranking(ctx.model, params.ranked_fraction)
+    params: ScenarioParams = DEFAULT_PARAMS
+
+    def __call__(self, ctx: StrategyContext) -> HybridStrategy:
+        ranking = _oracle_ranking(ctx.model, self.params.ranked_fraction)
         monitor = OracleLatencyMonitor(ctx.model, ctx.node)
         return HybridStrategy(
             node=ctx.node,
             ranking=ranking,
             monitor=monitor,
-            radius=params.hybrid_radius_ms,
-            eager_rounds=params.hybrid_eager_rounds,
-            first_request_delay_ms=params.radius_first_delay_ms,
+            radius=self.params.hybrid_radius_ms,
+            eager_rounds=self.params.hybrid_eager_rounds,
+            first_request_delay_ms=self.params.radius_first_delay_ms,
             retry_period_ms=ctx.retry_period_ms,
         )
 
-    return build
+
+def hybrid_factory(params: ScenarioParams = DEFAULT_PARAMS) -> StrategyFactory:
+    """The section 6.4 combined strategy (oracle-driven)."""
+    return HybridFactory(params)
+
+
+@dataclass(frozen=True)
+class NoisyFactory:
+    """Wrap any factory with the section 4.3 noise model.
+
+    The wrapped ``inner`` factory must itself be picklable for specs
+    using this wrapper to cross into pool workers.
+    """
+
+    inner: StrategyFactory
+    noise: float
+    calibration: Optional[float] = None
+
+    def __call__(self, ctx: StrategyContext) -> NoisyStrategy:
+        return NoisyStrategy(self.inner(ctx), self.noise, ctx.rng, self.calibration)
 
 
 def noisy_factory(
     inner: StrategyFactory, noise: float, calibration: Optional[float] = None
 ) -> StrategyFactory:
     """Wrap any factory with the section 4.3 noise model."""
-
-    def build(ctx: StrategyContext) -> NoisyStrategy:
-        return NoisyStrategy(inner(ctx), noise, ctx.rng, calibration)
-
-    return build
+    return NoisyFactory(inner, noise, calibration)
 
 
 # -- noise calibration ------------------------------------------------------------

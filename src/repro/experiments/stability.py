@@ -15,9 +15,11 @@ central nodes, and per-window delivery counts before/after.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, List, Optional
 
 from repro.baselines.tree import TreeConfig, TreeMulticastSystem
+from repro.experiments.parallel import ProgressFn, run_tasks
 from repro.gossip.config import GossipConfig
 from repro.metrics.recorder import MetricsRecorder
 from repro.metrics.timeline import throughput_over_time
@@ -138,3 +140,81 @@ def steady_rate(timeline: Dict[int, int], windows: List[int]) -> float:
     if not windows:
         return 0.0
     return sum(timeline.get(w, 0) for w in windows) / len(windows)
+
+
+def stability_grid(
+    model: ClientNetworkModel,
+    failed_fractions: List[float],
+    messages: int = 60,
+    interval_ms: float = 250.0,
+    window_ms: float = 1_000.0,
+    failure_at_ms: float = 7_500.0,
+    warmup_ms: float = 5_000.0,
+    workers: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
+) -> List[Dict]:
+    """Gossip-vs-tree throughput retention across a failure-size sweep.
+
+    One timeline pair per failed fraction; all timelines are independent
+    simulations, fanned over ``workers`` via the parallel engine's
+    generic task path (:func:`repro.experiments.parallel.run_tasks`).
+    ``failure_at_ms`` is on the gossip run's (absolute) clock; the tree
+    runs have no warmup phase, so their kill instant is shifted by
+    ``warmup_ms`` to land in the same traffic window.
+
+    Rows report mean per-window delivery rates in the steady windows
+    before and after the kill, and the retained percentage.
+    """
+    tasks = []
+    meta: List[tuple] = []
+    for fraction in failed_fractions:
+        killing = fraction > 0
+        meta.append(("gossip eager", fraction))
+        tasks.append(
+            partial(
+                gossip_timeline,
+                model,
+                messages=messages,
+                interval_ms=interval_ms,
+                window_ms=window_ms,
+                failure_at_ms=failure_at_ms if killing else None,
+                failed_fraction=fraction,
+                warmup_ms=warmup_ms,
+            )
+        )
+        meta.append(("tree (no repair)", fraction))
+        tasks.append(
+            partial(
+                tree_timeline,
+                model,
+                messages=messages,
+                interval_ms=interval_ms,
+                window_ms=window_ms,
+                failure_at_ms=(failure_at_ms - warmup_ms) if killing else None,
+                failed_fraction=fraction,
+            )
+        )
+    timelines = run_tasks(tasks, workers=workers, progress=progress)
+
+    rows: List[Dict] = []
+    for (system, fraction), timeline in zip(meta, timelines):
+        # The tree's clock starts at traffic time zero; gossip's after
+        # warmup.  Steady windows flank the kill window on each clock.
+        start = 0.0 if system.startswith("tree") else warmup_ms
+        fail_window = int((failure_at_ms - warmup_ms + start) // window_ms)
+        before = [fail_window - 2, fail_window - 1]
+        after = [fail_window + 2, fail_window + 3, fail_window + 4]
+        rate_before = steady_rate(timeline, before)
+        rate_after = steady_rate(timeline, after)
+        rows.append(
+            {
+                "system": system,
+                "dead_pct": fraction * 100.0,
+                "rate_before": rate_before,
+                "rate_after": rate_after,
+                "retained_pct": (
+                    100.0 * rate_after / rate_before if rate_before else 0.0
+                ),
+            }
+        )
+    return rows

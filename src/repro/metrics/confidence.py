@@ -35,6 +35,8 @@ def mean_confidence_interval(
         raise ValueError("no values")
     mean = sum(values) / n
     if n < 2:
+        # R=1 guard: one observation supports no interval claim, so the
+        # half-width is infinite (and any overlap test passes).
         return mean, float("inf")
     variance = sum((v - mean) ** 2 for v in values) / (n - 1)
     half_width = z * math.sqrt(variance / n)
@@ -47,8 +49,14 @@ def intervals_overlap(
     """True when two ``(mean, half_width)`` intervals intersect.
 
     Non-overlap is the paper's criterion for calling a difference
-    relevant.
+    relevant, so degenerate intervals are treated conservatively: any
+    NaN endpoint (e.g. a NaN mean from a run that delivered nothing)
+    reads as overlapping -- no difference claim can be supported.
+    Infinite half-widths (single-sample intervals) overlap everything
+    by ordinary arithmetic.
     """
+    if any(math.isnan(v) for v in (*a, *b)):
+        return True
     a_low, a_high = a[0] - a[1], a[0] + a[1]
     b_low, b_high = b[0] - b[1], b[0] + b[1]
     return a_low <= b_high and b_low <= a_high

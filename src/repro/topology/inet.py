@@ -76,6 +76,16 @@ class InetParameters:
                 f"cannot attach {self.client_count} clients to "
                 f"{stub_count} distinct stub routers"
             )
+        if stub_count < self.transit_count:
+            # Every transit router anchors at least one stub domain;
+            # fewer stubs than transits previously spun forever in the
+            # stub-size partitioner.
+            raise ValueError(
+                f"router_count={self.router_count} leaves {stub_count} stub "
+                f"routers for {self.transit_count} transit routers; need "
+                f"router_count >= 2 * transit_count "
+                f"(lower transit_count for small models)"
+            )
 
 
 @dataclass
@@ -203,6 +213,11 @@ def _pareto_sizes(
     weights = [min(w, cap_factor * mean_weight) for w in weights]
     weight_sum = sum(weights)
     sizes = [max(1, int(round(total * w / weight_sum))) for w in weights]
+    if total < count_hint:
+        raise ValueError(
+            f"cannot partition {total} items into {count_hint} non-empty "
+            "heavy-tailed buckets"
+        )
     # Fix the rounding drift so the sizes partition ``total`` exactly.
     drift = total - sum(sizes)
     index = 0

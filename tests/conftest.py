@@ -4,6 +4,21 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser: "pytest.Parser") -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden-trace digests under tests/golden/ "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return bool(request.config.getoption("--update-golden"))
+
 from repro.gossip.config import GossipConfig
 from repro.metrics.recorder import MetricsRecorder
 from repro.runtime.cluster import Cluster, ClusterConfig

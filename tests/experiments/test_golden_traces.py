@@ -1,0 +1,84 @@
+"""Golden-trace regression tests: determinism, pinned.
+
+Each canonical configuration (Flat, TTL, Radius, Ranked, Hybrid) has a
+digest of its full observable behaviour -- event order, per-node
+delivery latencies, payload counts -- committed under ``tests/golden/``.
+The tests recompute the digest and compare exactly; any change to the
+simulator, scheduler, strategies or RNG plumbing that shifts even one
+event timestamp fails here first.
+
+Intentional behaviour changes regenerate the files with::
+
+    pytest tests/experiments/test_golden_traces.py --update-golden
+
+The parallel engine's contract (serial == pooled, bit for bit) is
+asserted against the same digests: a run executed inside a process-pool
+worker must reproduce the committed golden exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.golden import (
+    CANONICAL_STRATEGIES,
+    canonical_model,
+    canonical_spec,
+    compute_golden,
+    trace_digest,
+)
+from repro.experiments.parallel import run_experiments
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+CONFIGS = sorted(CANONICAL_STRATEGIES)
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+@pytest.mark.parametrize("name", CONFIGS)
+def test_matches_stored_golden(name, update_golden):
+    digest = compute_golden(name)
+    path = golden_path(name)
+    if update_golden:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(digest, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"no golden trace for {name!r}; generate with "
+        "pytest tests/experiments/test_golden_traces.py --update-golden"
+    )
+    stored = json.loads(path.read_text())
+    assert digest == stored, (
+        f"golden trace mismatch for {name!r}: the run's event order, "
+        "latencies or payload counts changed. If intentional, regenerate "
+        "with --update-golden."
+    )
+
+
+@pytest.mark.parametrize("name", ["flat", "ranked"])
+def test_pooled_run_reproduces_golden(name):
+    """A run executed in a pool worker matches the committed digest."""
+    stored = json.loads(golden_path(name).read_text())
+    pooled = compute_golden(name, workers=2)
+    assert pooled == stored
+
+
+@pytest.mark.slow
+def test_serial_equals_parallel_for_every_config():
+    """All five canonical runs, fanned over a pool, match serial runs.
+
+    One batch through a 2-worker pool (the engine interleaves configs
+    across workers) against five inline runs.
+    """
+    model = canonical_model()
+    specs = [canonical_spec(name) for name in CONFIGS]
+    serial = run_experiments(model, specs, workers=1)
+    pooled = run_experiments(model, specs, workers=2)
+    for name, s, p in zip(CONFIGS, serial, pooled):
+        assert trace_digest(s) == trace_digest(p), name

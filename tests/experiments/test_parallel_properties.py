@@ -1,0 +1,87 @@
+"""Hypothesis properties: worker-count and submission-order invariance.
+
+``run_replicated(spec, R, workers=w)`` must produce *identical*
+``ReplicatedResult.intervals`` for any ``w`` -- the seeds are derived
+before dispatch and aggregation follows replication order, so the
+worker pool cannot influence the numbers.  Likewise, permuting the
+submission order of a spec batch must not change which result lands at
+which index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.parallel import run_experiments
+from repro.experiments.replication import run_replicated
+from repro.experiments.runner import ExperimentSpec
+from repro.experiments.scenarios import flat_factory
+from repro.experiments.workload import TrafficConfig
+from repro.gossip.config import GossipConfig
+from repro.runtime.cluster import ClusterConfig
+from repro.topology.simple import complete_topology
+
+MODEL = complete_topology(8, latency_ms=15.0, jitter_ms=3.0, seed=2)
+
+#: Baseline (workers=1) results keyed by seed/name, shared across
+#: examples so each reference run is paid for only once.
+_BASELINES: Dict[object, object] = {}
+
+
+def tiny_spec(seed: int, probability: float = 1.0) -> ExperimentSpec:
+    return ExperimentSpec(
+        strategy_factory=flat_factory(probability),
+        cluster=ClusterConfig(gossip=GossipConfig(fanout=3, rounds=3)),
+        traffic=TrafficConfig(messages=3, mean_interval_ms=60.0),
+        warmup_ms=400.0,
+        drain_ms=600.0,
+        seed=seed,
+    )
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    workers=st.sampled_from([2, 4]),
+)
+def test_intervals_invariant_to_worker_count(seed, workers):
+    if seed not in _BASELINES:
+        _BASELINES[seed] = run_replicated(
+            MODEL, tiny_spec(seed), replications=3, workers=1
+        ).intervals
+    pooled = run_replicated(
+        MODEL, tiny_spec(seed), replications=3, workers=workers
+    )
+    assert pooled.intervals == _BASELINES[seed]
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(permutation=st.permutations(list(range(4))))
+def test_results_invariant_to_submission_order(permutation):
+    specs = [tiny_spec(seed=500 + i) for i in range(4)]
+    if "order_baseline" not in _BASELINES:
+        _BASELINES["order_baseline"] = run_experiments(MODEL, specs, workers=1)
+    baseline = _BASELINES["order_baseline"]
+    shuffled = [specs[i] for i in permutation]
+    results = run_experiments(MODEL, shuffled, workers=2)
+    # Undo the permutation: result j of the shuffled batch belongs to
+    # spec permutation[j].
+    unshuffled = [None] * len(specs)
+    for position, original_index in enumerate(permutation):
+        unshuffled[original_index] = results[position]
+    for base, result in zip(baseline, unshuffled):
+        assert base.summary == result.summary

@@ -4,8 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.replication import run_replicated
-from repro.experiments.runner import ExperimentSpec
+from repro.experiments.replication import (
+    METRICS,
+    ReplicatedResult,
+    aggregate_summaries,
+    replication_specs,
+    run_replicated,
+)
+from repro.experiments.runner import ExperimentSpec, run_experiment
 from repro.experiments.scenarios import flat_factory
 from repro.experiments.workload import TrafficConfig
 from repro.gossip.config import GossipConfig
@@ -67,3 +73,66 @@ def test_row_rendering(model):
 def test_requires_two_replications(model):
     with pytest.raises(ValueError):
         run_replicated(model, spec(flat_factory(1.0)), replications=1)
+
+
+def test_workers_do_not_change_intervals(model):
+    serial = run_replicated(model, spec(flat_factory(0.5)), replications=3)
+    pooled = run_replicated(
+        model, spec(flat_factory(0.5)), replications=3, workers=2
+    )
+    assert serial.intervals == pooled.intervals
+
+
+def test_replication_seeds_derived_before_dispatch():
+    base = spec(flat_factory(1.0), seed=40)
+    specs = replication_specs(base, 4)
+    assert [s.seed for s in specs] == [10_040, 20_040, 30_040, 40_040]
+    # Everything but the seed is the base spec, so a worker needs no
+    # context beyond the spec itself.
+    assert all(s.strategy_factory == base.strategy_factory for s in specs)
+
+
+# -- edge cases: NaN metrics, degenerate intervals, METRICS coverage ---------------
+
+
+def test_metrics_tuple_matches_run_summary_fields(model):
+    result = run_experiment(model, spec(flat_factory(1.0)))
+    for metric in METRICS:
+        assert hasattr(result.summary, metric), metric
+
+
+def test_aggregate_summaries_empty_raises():
+    """Zero replications support no interval claim at all."""
+    with pytest.raises(ValueError):
+        aggregate_summaries([])
+
+
+def _interval_result(**intervals):
+    return ReplicatedResult(replications=2, intervals=intervals)
+
+
+def test_differs_from_nan_intervals_claims_nothing():
+    nan = float("nan")
+    a = _interval_result(m=(nan, nan))
+    b = _interval_result(m=(10.0, 1.0))
+    assert not a.differs_from(b, "m")
+    assert not b.differs_from(a, "m")
+    assert not a.differs_from(a, "m")
+
+
+def test_differs_from_infinite_half_width_claims_nothing():
+    a = _interval_result(m=(5.0, float("inf")))
+    b = _interval_result(m=(1_000.0, 0.5))
+    assert not a.differs_from(b, "m")
+    assert not b.differs_from(a, "m")
+
+
+def test_differs_from_disjoint_intervals_still_works():
+    a = _interval_result(m=(1.0, 0.5))
+    b = _interval_result(m=(10.0, 0.5))
+    assert a.differs_from(b, "m")
+
+
+def test_row_renders_nan_and_inf_without_crashing():
+    result = _interval_result(m=(float("nan"), float("inf")))
+    assert "m" in result.row()

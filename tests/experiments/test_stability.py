@@ -6,6 +6,7 @@ import pytest
 
 from repro.experiments.stability import (
     gossip_timeline,
+    stability_grid,
     steady_rate,
     tree_timeline,
 )
@@ -64,3 +65,27 @@ def test_steady_rate_helper():
     assert steady_rate({1: 10, 2: 20}, [1, 2]) == 15.0
     assert steady_rate({}, []) == 0.0
     assert steady_rate({5: 8}, [4, 5]) == 4.0
+
+
+def test_stability_grid_shapes_and_worker_invariance(model):
+    kwargs = dict(
+        messages=32,
+        interval_ms=250.0,
+        window_ms=1_000.0,
+        failure_at_ms=5_000.0,
+        warmup_ms=2_000.0,
+    )
+    serial = stability_grid(model, [0.0, 0.25], workers=1, **kwargs)
+    pooled = stability_grid(model, [0.0, 0.25], workers=2, **kwargs)
+    assert serial == pooled
+
+    rows = {(row["system"], row["dead_pct"]): row for row in serial}
+    assert len(rows) == 4
+    # Without a kill, both systems keep their rate.
+    assert rows[("gossip eager", 0.0)]["retained_pct"] > 80.0
+    # Gossip retains roughly the survivors' share; the unrepaired tree
+    # loses far more than its dead nodes' share.
+    gossip = rows[("gossip eager", 25.0)]["retained_pct"]
+    tree = rows[("tree (no repair)", 25.0)]["retained_pct"]
+    assert gossip > 60.0
+    assert tree < gossip

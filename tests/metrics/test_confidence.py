@@ -63,3 +63,30 @@ def test_intervals_overlap():
     assert intervals_overlap((10.0, 2.0), (13.0, 2.0))
     assert not intervals_overlap((10.0, 1.0), (13.0, 1.0))
     assert intervals_overlap((10.0, 0.0), (10.0, 0.0))
+
+
+# -- degenerate intervals (R=1, NaN means) -----------------------------------------
+
+
+def test_nan_mean_propagates_but_does_not_raise():
+    """A run that delivered nothing yields a NaN metric; the interval
+    carries it through instead of blowing up."""
+    mean, half = mean_confidence_interval([float("nan"), 1.0, 2.0])
+    assert math.isnan(mean)
+    assert math.isnan(half) or half >= 0.0
+
+
+def test_nan_intervals_read_as_overlapping():
+    """No difference claim is supportable from a NaN interval."""
+    nan = float("nan")
+    assert intervals_overlap((nan, 1.0), (10.0, 1.0))
+    assert intervals_overlap((10.0, 1.0), (nan, 1.0))
+    assert intervals_overlap((10.0, nan), (99.0, 0.1))
+    assert intervals_overlap((nan, nan), (nan, nan))
+
+
+def test_single_sample_interval_overlaps_everything():
+    """The R=1 guard: infinite half-width intersects any interval."""
+    single = mean_confidence_interval([5.0])
+    assert intervals_overlap(single, (1_000_000.0, 0.0))
+    assert intervals_overlap((1_000_000.0, 0.0), single)

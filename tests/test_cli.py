@@ -69,6 +69,53 @@ def test_scale_overrides_parse():
     assert args.clients == 12
 
 
+def test_workers_and_replications_parse():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["figure", "4", "--workers", "4", "--replications", "8"]
+    )
+    assert args.workers == 4
+    assert args.replications == 8
+    args = parser.parse_args(["run", "eager"])
+    assert args.workers == 1
+    assert args.replications == 1
+
+
+def test_run_replicated_reports_intervals(capsys):
+    code = main([
+        "run", "eager", "--clients", "12", "--routers", "150",
+        "--messages", "6", "--seed", "4", "--replications", "3",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "±" in out
+
+
+def test_figure4_replicated_sweep_byte_identical_across_workers(capsys):
+    """Acceptance: an 8-replication figure-4 sweep through 4 workers
+    prints byte-identical aggregated results to the serial run."""
+    argv_tail = [
+        "figure", "4", "--clients", "12", "--routers", "150",
+        "--messages", "6", "--seed", "3", "--replications", "8",
+    ]
+    assert main(argv_tail + ["--workers", "1"]) == 0
+    serial_out = capsys.readouterr().out
+    assert main(argv_tail + ["--workers", "4"]) == 0
+    parallel_out = capsys.readouterr().out
+    assert serial_out.encode() == parallel_out.encode()
+    assert "hw" in serial_out  # interval columns present
+
+
+def test_figure_without_replication_support_warns(capsys):
+    code = main([
+        "figure", "5.1", "--clients", "12", "--routers", "150",
+        "--replications", "4",
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "does not support --replications" in captured.err
+
+
 def test_topology_save_writes_model_file(tmp_path, capsys):
     from repro.topology.export import load_model
 

@@ -85,6 +85,16 @@ def test_parameter_validation():
         InetParameters(transit_count=2)
 
 
+def test_too_few_stub_routers_rejected_not_hung():
+    """router_count < 2 * transit_count used to spin forever in the
+    stub-size partitioner; it must be a validation error instead."""
+    with pytest.raises(ValueError, match="stub"):
+        InetParameters(router_count=120, client_count=12)
+    # The boundary case (one stub per transit) still generates.
+    params = InetParameters(router_count=128, client_count=12)
+    assert generate_inet(params, seed=3).graph is not None
+
+
 def test_impossible_latency_target_rejected():
     params = InetParameters(
         router_count=200, client_count=20, transit_count=16,
