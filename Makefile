@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench evaluate evaluate-quick figures clean
+.PHONY: install test bench lint evaluate evaluate-quick figures clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +15,15 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Static analysis: the determinism linter always runs; ruff/mypy run
+# when installed (CI installs both; the minimal dev container may not).
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.lint src/repro
+	@if $(PYTHON) -c 'import ruff' 2>/dev/null || command -v ruff >/dev/null; \
+		then ruff check .; else echo "ruff not installed; skipping"; fi
+	@if $(PYTHON) -c 'import mypy' 2>/dev/null; \
+		then $(PYTHON) -m mypy; else echo "mypy not installed; skipping"; fi
 
 # Paper-scale regeneration of every table and figure (several minutes).
 evaluate:

@@ -14,7 +14,6 @@ from __future__ import annotations
 from benchmarks.conftest import BENCH, run_once
 from repro.experiments.figures import build_model
 from repro.experiments.reporting import print_table
-from repro.experiments.runner import ExperimentSpec, run_experiment
 from repro.experiments.workload import TrafficConfig
 from repro.gossip.config import GossipConfig
 from repro.monitors.ranking import ScoreRanking

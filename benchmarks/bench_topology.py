@@ -7,7 +7,6 @@ Paper: 3037 Inet routers; client pairs average 5.54 hops (74.28% within
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.experiments.figures import FULL, section51_table
 from repro.experiments.reporting import print_table
 from repro.topology.inet import InetParameters, generate_inet
 from repro.topology.routing import ClientNetworkModel

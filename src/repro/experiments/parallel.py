@@ -172,7 +172,10 @@ def run_experiments(
             for future in completed:
                 index, result, child_tb = future.result()
                 if child_tb is not None:
-                    for other in pending:
+                    # Cancellation is idempotent and order-insensitive;
+                    # results are keyed by submission index, so future
+                    # iteration order cannot reach any trace.
+                    for other in pending:  # noqa: DET003
                         other.cancel()
                     raise ParallelExecutionError(
                         f"experiment {index + 1}/{total} failed in a "
@@ -246,7 +249,10 @@ def run_tasks(
             for future in completed:
                 index, result, child_tb = future.result()
                 if child_tb is not None:
-                    for other in pending:
+                    # Cancellation is idempotent and order-insensitive;
+                    # results are keyed by submission index, so future
+                    # iteration order cannot reach any trace.
+                    for other in pending:  # noqa: DET003
                         other.cancel()
                     raise ParallelExecutionError(
                         f"task {index + 1}/{total} failed in a worker "

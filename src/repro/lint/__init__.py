@@ -1,0 +1,50 @@
+"""Static determinism analysis (``python -m repro.lint``).
+
+The reproduction's correctness rests on bit-exact golden traces: every
+strategy's full event stream must be identical across runs, machines and
+``--workers`` counts.  The golden tests catch a determinism bug *after*
+it runs; this package catches the usual causes before that, with six
+AST-level rules over ``src/repro``:
+
+========  ==========================================================
+DET001    no wall-clock calls outside the measurement allowlist
+DET002    no calls into the process-global ``random`` generator
+DET003    no iteration over sets without an explicit ``sorted(...)``
+DET004    no environment/filesystem/entropy reads in the sim core
+DET005    parallel-engine factories must be frozen dataclasses
+DET006    no mutable default arguments
+========  ==========================================================
+
+Per-line ``# noqa: DET0xx`` comments suppress a finding in place; a JSON
+baseline file grandfathers existing findings so the gate can be strict
+for new code.  This repository ships with an **empty** baseline -- the
+pytest gate (``tests/lint/test_self_check.py``) asserts ``src/repro`` is
+clean.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import (
+    LintError,
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_name_for,
+    select_rules,
+)
+from repro.lint.findings import Finding
+from repro.lint.rules import CORE_MODULES, RULES, RULES_BY_ID, Rule
+
+__all__ = [
+    "Baseline",
+    "CORE_MODULES",
+    "Finding",
+    "LintError",
+    "RULES",
+    "RULES_BY_ID",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+    "select_rules",
+]

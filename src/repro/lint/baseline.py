@@ -1,0 +1,103 @@
+"""Grandfathered-findings baseline.
+
+A baseline lets the lint gate turn on *strict for new code* before every
+historical finding is fixed: existing violations are recorded once (with
+``--write-baseline``) and silently filtered until someone deletes their
+entry.  Matching ignores line numbers -- entries key on
+``(rule, path, message)`` with a multiplicity count -- so grandfathered
+findings survive unrelated edits, but any *new* occurrence of the same
+pattern in the same file still fires once the recorded count is used up.
+
+The goal state (and the state this repository ships in) is an **empty**
+baseline: the pytest gate asserts that ``src/repro`` is clean.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+class Baseline:
+    """A multiset of grandfathered finding keys."""
+
+    def __init__(self, counts: Optional[Dict[Key, int]] = None) -> None:
+        self.counts: Counter[Key] = Counter()
+        if counts:
+            for key, count in counts.items():
+                if count > 0:
+                    self.counts[key] = count
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Baseline):
+            return NotImplemented
+        return self.counts == other.counts
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            baseline.counts[finding.baseline_key] += 1
+        return baseline
+
+    def filter(self, findings: List[Finding]) -> List[Finding]:
+        """Drop findings covered by the baseline, respecting counts.
+
+        With N recorded occurrences of a key, the first N matching
+        findings (in sorted order) are suppressed and the rest reported.
+        """
+        remaining = Counter(self.counts)
+        kept: List[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key
+            if remaining[key] > 0:
+                remaining[key] -= 1
+            else:
+                kept.append(finding)
+        return kept
+
+    # -- persistence -------------------------------------------------
+
+    def to_json(self) -> str:
+        entries = [
+            {"rule": rule, "path": path, "message": message, "count": count}
+            for (rule, path, message), count in sorted(self.counts.items())
+        ]
+        return json.dumps(
+            {"version": _VERSION, "findings": entries}, indent=2, sort_keys=True
+        ) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Baseline":
+        data = json.loads(text)
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r}"
+            )
+        baseline = cls()
+        for entry in data.get("findings", []):
+            key = (
+                str(entry["rule"]),
+                str(entry["path"]),
+                str(entry["message"]),
+            )
+            baseline.counts[key] += int(entry.get("count", 1))
+        return baseline
+
+    def save(self, path: Path) -> None:
+        path.write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        return cls.from_json(path.read_text(encoding="utf-8"))

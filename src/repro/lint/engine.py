@@ -1,0 +1,186 @@
+"""Lint driver: parse files, run rules, apply suppressions and baseline.
+
+The engine is deliberately boring -- all judgement lives in the rules.
+Three layers filter raw findings before anything is reported:
+
+1. per-line ``# noqa: DET0xx`` comments (or a bare ``# noqa``),
+2. the baseline file of grandfathered findings (see
+   :mod:`repro.lint.baseline`),
+3. an optional rule selection (``--select`` on the CLI).
+
+Everything is pure functions over paths and strings so the pytest gate,
+the CLI and CI all share one code path.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding
+from repro.lint.rules import RULES, ModuleContext, Rule
+
+#: ``# noqa`` / ``# noqa: DET001`` / ``# noqa: DET001, DET003``
+_NOQA_RE = re.compile(
+    r"#\s*noqa\b(?::\s*(?P<codes>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*))?",
+    re.IGNORECASE,
+)
+
+
+class LintError(RuntimeError):
+    """A file could not be linted (unreadable, syntax error)."""
+
+
+def module_name_for(path: Path) -> str:
+    """Derive a dotted module name from a file path.
+
+    Paths under a ``src/`` directory resolve to their import path
+    (``src/repro/sim/engine.py`` -> ``repro.sim.engine``); anything else
+    falls back to the path's stem-joined parts after the last recognised
+    package anchor, or just the stem.  The module name only drives rule
+    scoping, so a best-effort answer is fine for out-of-tree fixtures.
+    """
+    parts = list(path.parts)
+    if "src" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("src")
+        rel = parts[anchor + 1 :]
+    elif "repro" in parts:
+        anchor = parts.index("repro")
+        rel = parts[anchor:]
+    else:
+        rel = [parts[-1]]
+    dotted = [part for part in rel[:-1]] + [Path(rel[-1]).stem]
+    if dotted and dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted) or path.stem
+
+
+def lint_source(
+    source: str,
+    *,
+    module: str = "repro._lint_fixture",
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint a source string (the unit-test entry point).
+
+    ``module`` controls rule scoping (e.g. pass ``"repro.sim.engine"`` to
+    exercise the DET004 core scope); suppression comments are honoured
+    exactly as for on-disk files.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: {exc}") from exc
+    ctx = ModuleContext(module=module, path=path, tree=tree, source=source)
+    raw: List[Finding] = []
+    for rule in rules if rules is not None else RULES:
+        raw.extend(rule.check(ctx))
+    return _apply_noqa(raw, source.splitlines())
+
+
+def lint_file(
+    path: Path,
+    *,
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one file; paths in findings are relative to ``root``."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {path}: {exc}") from exc
+    rel = _relative_posix(path, root)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise LintError(f"syntax error in {rel}: {exc}") from exc
+    ctx = ModuleContext(
+        module=module_name_for(path), path=rel, tree=tree, source=source
+    )
+    raw: List[Finding] = []
+    for rule in rules if rules is not None else RULES:
+        raw.extend(rule.check(ctx))
+    return _apply_noqa(raw, source.splitlines())
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    *,
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+) -> List[Finding]:
+    """Lint files and directories; directories are walked recursively.
+
+    Results are sorted (path, line, col, rule) so output order never
+    depends on filesystem enumeration order -- the linter holds itself to
+    DET003's standard.
+    """
+    findings: List[Finding] = []
+    for path in paths:
+        for file_path in _python_files(Path(path)):
+            findings.extend(lint_file(file_path, root=root, rules=rules))
+    findings.sort()
+    if baseline is not None:
+        findings = baseline.filter(findings)
+    return findings
+
+
+def _python_files(path: Path) -> List[Path]:
+    if path.is_dir():
+        return sorted(
+            p
+            for p in path.rglob("*.py")
+            if "__pycache__" not in p.parts
+        )
+    return [path]
+
+
+def _relative_posix(path: Path, root: Optional[Path]) -> str:
+    resolved = path.resolve()
+    base = (root or Path.cwd()).resolve()
+    try:
+        return resolved.relative_to(base).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _apply_noqa(findings: List[Finding], lines: Sequence[str]) -> List[Finding]:
+    kept: List[Finding] = []
+    for finding in findings:
+        if not _suppressed(finding, lines):
+            kept.append(finding)
+    return kept
+
+
+def _suppressed(finding: Finding, lines: Sequence[str]) -> bool:
+    if not 1 <= finding.line <= len(lines):
+        return False
+    match = _NOQA_RE.search(lines[finding.line - 1])
+    if match is None:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True  # bare "# noqa" silences every rule on the line
+    wanted = {code.strip().upper() for code in codes.split(",")}
+    return finding.rule.upper() in wanted
+
+
+def select_rules(codes: Optional[Sequence[str]]) -> Tuple[Rule, ...]:
+    """Resolve ``--select`` codes to rule instances (all rules if None)."""
+    if not codes:
+        return RULES
+    from repro.lint.rules import RULES_BY_ID
+
+    selected: List[Rule] = []
+    for code in codes:
+        normalised = code.strip().upper()
+        if normalised not in RULES_BY_ID:
+            known = ", ".join(sorted(RULES_BY_ID))
+            raise LintError(f"unknown rule {code!r} (known: {known})")
+        selected.append(RULES_BY_ID[normalised])
+    return tuple(selected)

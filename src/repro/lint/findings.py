@@ -1,0 +1,70 @@
+"""The machine-readable finding model shared by every lint rule.
+
+A :class:`Finding` pins a rule violation to an exact source location and
+carries everything a reporter (CLI text, JSON, pytest assertion message)
+or the baseline filter needs.  Findings are frozen and totally ordered so
+reports are stable across runs and platforms -- the linter itself obeys
+the determinism discipline it enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+#: Severity levels, mirroring the usual compiler vocabulary.  Every DET
+#: rule currently reports ``error``; the field exists so future advisory
+#: rules can ship without forcing an exit-code change.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: str = field(default="error", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Identity used for baseline matching.
+
+        Deliberately excludes the line/column so grandfathered findings
+        survive unrelated edits that shift code up or down a file.
+        """
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data.get("col", 0)),
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+            severity=str(data.get("severity", "error")),
+        )
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` -- the grep-friendly text form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

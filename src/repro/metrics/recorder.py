@@ -116,7 +116,7 @@ class MetricsRecorder:
     @property
     def payload_transmissions(self) -> int:
         """Total MSG packets sent during the measurement window."""
-        return sum(self.sent_packets[k] for k in PAYLOAD_KINDS)
+        return sum(self.sent_packets[k] for k in sorted(PAYLOAD_KINDS))
 
     def origin_of(self, message_id: int) -> Optional[int]:
         entry = self.multicasts.get(message_id)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.network.connection import ConnectionBuffer, PurgePolicy
+from repro.network.connection import PurgePolicy
 from repro.network.fabric import NetworkFabric, SendReceipt
 from repro.network.message import Packet
 

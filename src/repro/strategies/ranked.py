@@ -16,7 +16,7 @@ rankings by design (evaluated under noise in section 6.5).
 
 from __future__ import annotations
 
-from typing import Any, Protocol, runtime_checkable
+from typing import Any, Iterable, Protocol, runtime_checkable
 
 from repro.scheduler.interfaces import DEFAULT_RETRY_PERIOD_MS
 from repro.strategies.base import BaseStrategy
@@ -32,14 +32,14 @@ class RankingView(Protocol):
 class StaticRanking:
     """A fixed best-node set (the ISP-configured case)."""
 
-    def __init__(self, best_nodes) -> None:
+    def __init__(self, best_nodes: Iterable[int]) -> None:
         self._best = frozenset(best_nodes)
 
     def is_best(self, node: int) -> bool:
         return node in self._best
 
     @property
-    def best_nodes(self) -> frozenset:
+    def best_nodes(self) -> "frozenset[int]":
         return self._best
 
 

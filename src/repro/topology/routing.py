@@ -18,7 +18,7 @@ import math
 from typing import List, Optional, Sequence, Tuple
 
 from repro.topology.geometry import Point, euclidean
-from repro.topology.graph import NodeKind, RouterTopology
+from repro.topology.graph import RouterTopology
 
 _INF = float("inf")
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.gossip.config import GossipConfig
-from repro.runtime.cluster import Cluster, ClusterConfig
 from repro.strategies.flat import FlatStrategy, PureEagerStrategy, PureLazyStrategy
 from repro.topology.simple import complete_topology, star_topology
 from tests.conftest import build_cluster

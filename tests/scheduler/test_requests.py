@@ -4,7 +4,11 @@ from __future__ import annotations
 
 from typing import List, Sequence, Set, Tuple
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.scheduler.requests import RequestQueue
+from repro.sim.engine import Simulator
 from repro.strategies.base import BaseStrategy
 
 
@@ -169,12 +173,6 @@ def test_cancel_all_drops_entries_and_timers(sim):
 
 
 # -- property: Clear(i) always cancels the schedule --------------------------
-
-
-from hypothesis import given, settings
-from hypothesis import strategies as st
-
-from repro.sim.engine import Simulator
 
 
 @st.composite

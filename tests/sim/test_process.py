@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim.process import Process, Signal, spawn
+from repro.sim.process import Signal, spawn
 
 
 def test_sleep_sequencing(sim):

@@ -9,7 +9,7 @@ from repro.baselines.tree import TreeConfig, TreeMulticastSystem
 from repro.network.fabric import FabricConfig, NetworkFabric
 from repro.network.transport import ConnectionTransport
 from repro.sim.engine import Simulator
-from repro.topology.simple import complete_topology, random_metric_topology
+from repro.topology.simple import random_metric_topology
 
 
 def make_stack(n=16, seed=1, jitter=0.0):
