@@ -1,69 +1,137 @@
-"""Parallel experiment engine: serial vs multi-worker wall clock.
+"""Parallel experiment engine: resolve-once model shipping vs per-task rebuilds.
 
-Times the same 8-replication figure-4 sweep through ``workers=1`` and
-``workers=4`` and records both to ``results/BENCH_PARALLEL.json``.  The
-*equality* of the aggregated intervals is asserted (that is the engine's
-contract and it must hold on any machine); the speedup itself is only
-recorded, never asserted -- CI boxes may expose a single core, where the
-pooled run pays process start-up for no parallelism.
+The pre-cache fan-out pipeline re-derived the network model for every
+replication: each pooled task paid ``generate_inet`` plus a full routing
+sweep before it could simulate, so at paper scale the sweep spent most
+of its wall clock rebuilding identical models.  The post-cache pipeline
+resolves the model **once in the parent** -- through
+:mod:`repro.topology.cache` -- and ships it to workers via the pool
+initializer.
+
+This bench times both pipelines end-to-end over the same replicated
+study on the paper-scale topology (3037 routers, 100 clients) and
+records the ratio to ``results/BENCH_PARALLEL.json``:
+
+- ``uncached_s``: every task rebuilds the model, then simulates;
+- ``cached_s``: one cold model build in the parent, pooled simulation
+  against the shipped model (the engine path this repo actually runs).
+
+Three result sets must agree bit-for-bit -- rebuild-per-task, pooled
+with a shipped model, and the serial inline path -- and that equality is
+asserted (it is the engine's contract and holds on any machine).  The
+speedup itself reflects the redundant derivations the cache removes; on
+a multi-core box the pool's genuine parallelism compounds it, on a
+single-core CI box it is the cache doing the winning.
 """
 
 from __future__ import annotations
 
 import json
 import time
+from functools import partial
 from pathlib import Path
 
 from benchmarks.conftest import run_once
-from repro.experiments.figures import Scale, build_model, figure4
+from repro.experiments.parallel import run_experiments, run_tasks
+from repro.experiments.replication import aggregate_summaries, replication_specs
+from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.experiments.scenarios import flat_factory
+from repro.experiments.workload import TrafficConfig
+from repro.gossip.config import GossipConfig
+from repro.runtime.cluster import ClusterConfig
+from repro.topology.cache import TopologyCache
+from repro.topology.inet import InetParameters, generate_inet
+from repro.topology.routing import ClientNetworkModel
 
 RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_PARALLEL.json"
 
-#: Small enough that the serial leg stays in CI time even though the
-#: comparison runs the whole sweep twice.
-SCALE = Scale(
-    "bench-parallel", clients=20, routers=200, messages=20,
-    warmup_ms=3_000.0, seed=3,
-)
+#: Paper-scale topology: model derivation is the dominant per-task cost,
+#: which is exactly the regime the resolve-once pipeline exists for.
+PARAMS = InetParameters(router_count=3037, client_count=100)
+SEED = 3
 REPLICATIONS = 8
 WORKERS = 4
 
+#: Deliberately light traffic: the study measures pipeline overhead, so
+#: simulation time per replication is kept small relative to the model
+#: derivation each pre-cache task repeats.
+def _base_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        strategy_factory=flat_factory(1.0),
+        cluster=ClusterConfig(
+            gossip=GossipConfig.for_population(PARAMS.client_count)
+        ),
+        traffic=TrafficConfig(messages=2),
+        warmup_ms=500.0,
+        seed=SEED + 1000,
+    )
 
-def _timed_sweep(workers):
-    start = time.perf_counter()
-    rows = figure4(SCALE, workers=workers, replications=REPLICATIONS)
-    return rows, time.perf_counter() - start
+
+def _rebuild_and_run(spec: ExperimentSpec):
+    """The pre-cache pipeline's task: re-derive the model, then simulate."""
+    topology = generate_inet(PARAMS, seed=SEED)
+    model = ClientNetworkModel.from_inet(topology)
+    return run_experiment(model, spec).summary
 
 
-def test_parallel_speedup_recorded(benchmark):
-    build_model(SCALE)  # warm the topology cache outside the timed region
+def test_parallel_pipeline_speedup_recorded(benchmark):
+    specs = replication_specs(_base_spec(), REPLICATIONS)
 
     def compare():
-        serial_rows, serial_s = _timed_sweep(1)
-        parallel_rows, parallel_s = _timed_sweep(WORKERS)
-        return serial_rows, parallel_rows, serial_s, parallel_s
+        # Pre-cache pipeline: every pooled task rebuilds the model.
+        start = time.perf_counter()
+        rebuilt = run_tasks(
+            [partial(_rebuild_and_run, spec) for spec in specs],
+            workers=WORKERS,
+        )
+        uncached_s = time.perf_counter() - start
 
-    serial_rows, parallel_rows, serial_s, parallel_s = run_once(benchmark, compare)
+        # Post-cache pipeline: one cold build in the parent (a private
+        # cache, so its cost is honestly inside the timed region), then
+        # the pooled engine against the shipped model.
+        cache = TopologyCache()
+        start = time.perf_counter()
+        model = cache.model(PARAMS, seed=SEED)
+        pooled = run_experiments(model, specs, workers=WORKERS)
+        cached_s = time.perf_counter() - start
 
-    # Blocking: the pooled sweep must reproduce the serial sweep exactly.
-    assert serial_rows == parallel_rows
+        # Reference: the serial inline path (warm model).
+        start = time.perf_counter()
+        serial = run_experiments(model, specs, workers=1)
+        serial_s = time.perf_counter() - start
+        return rebuilt, pooled, serial, uncached_s, cached_s, serial_s
+
+    rebuilt, pooled, serial, uncached_s, cached_s, serial_s = run_once(
+        benchmark, compare
+    )
+
+    # Blocking: all three pipelines must agree bit-for-bit.
+    intervals_rebuilt = aggregate_summaries(rebuilt)
+    intervals_pooled = aggregate_summaries(r.summary for r in pooled)
+    intervals_serial = aggregate_summaries(r.summary for r in serial)
+    assert intervals_rebuilt == intervals_pooled == intervals_serial
+    speedup = round(uncached_s / cached_s, 3) if cached_s else None
 
     entry = {
-        "benchmark": "figure4_replicated_sweep",
+        "benchmark": "replicated_study_pipeline",
         "scale": {
-            "clients": SCALE.clients,
-            "routers": SCALE.routers,
-            "messages": SCALE.messages,
+            "clients": PARAMS.client_count,
+            "routers": PARAMS.router_count,
+            "messages": 2,
         },
         "replications": REPLICATIONS,
         "workers": WORKERS,
+        "uncached_s": round(uncached_s, 3),
+        "cached_s": round(cached_s, 3),
         "serial_s": round(serial_s, 3),
-        "parallel_s": round(parallel_s, 3),
-        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "speedup": speedup,
         "identical_results": True,
     }
     RESULTS.parent.mkdir(parents=True, exist_ok=True)
     RESULTS.write_text(json.dumps(entry, indent=2) + "\n")
-    print(f"\nparallel sweep: serial {serial_s:.2f}s, "
-          f"{WORKERS} workers {parallel_s:.2f}s "
-          f"(speedup {entry['speedup']}, recorded non-blocking)")
+    print(f"\npipeline: rebuild-per-task {uncached_s:.2f}s, "
+          f"resolve-once {cached_s:.2f}s over {WORKERS} workers "
+          f"(speedup {speedup}, identical results)")
+    # The cache's contract at this scale: removing the redundant model
+    # derivations must beat the pre-cache pipeline outright.
+    assert speedup is not None and speedup > 1.0

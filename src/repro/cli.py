@@ -43,8 +43,8 @@ from repro.experiments.scenarios import (
 )
 from repro.gossip.config import GossipConfig
 from repro.runtime.cluster import ClusterConfig
-from repro.topology.inet import InetParameters, generate_inet
-from repro.topology.routing import ClientNetworkModel
+from repro.topology.cache import cached_model
+from repro.topology.inet import InetParameters
 from repro.topology.stats import compute_statistics
 
 FIGURES = {
@@ -132,11 +132,10 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
 
 def command_topology(args: argparse.Namespace) -> int:
     """``repro topology``: generate a model, print its statistics."""
-    topology = generate_inet(
+    model = cached_model(
         InetParameters(router_count=args.routers, client_count=args.clients),
         seed=args.seed,
     )
-    model = ClientNetworkModel.from_inet(topology)
     stats = compute_statistics(model)
     rows = [{"statistic": label, "value": value} for label, value in stats.as_rows()]
     print(format_table(rows))

@@ -54,7 +54,8 @@ from repro.failures.injection import FailurePlan
 from repro.gossip.config import GossipConfig
 from repro.runtime.cluster import ClusterConfig
 from repro.runtime.node import StrategyFactory
-from repro.topology.inet import InetParameters, generate_inet
+from repro.topology.cache import cached_model
+from repro.topology.inet import InetParameters
 from repro.topology.routing import ClientNetworkModel
 from repro.topology.stats import compute_statistics
 
@@ -77,21 +78,17 @@ class Scale:
 QUICK = Scale("quick", clients=40, routers=400, messages=60, warmup_ms=6_000.0)
 FULL = Scale("full", clients=100, routers=3037, messages=400, warmup_ms=10_000.0)
 
-_model_cache: Dict[tuple, ClientNetworkModel] = {}
-
-
 def build_model(scale: Scale) -> ClientNetworkModel:
-    """The Inet-derived client network model for a scale (cached)."""
-    key = (scale.clients, scale.routers, scale.seed)
-    model = _model_cache.get(key)
-    if model is None:
-        topology = generate_inet(
-            InetParameters(router_count=scale.routers, client_count=scale.clients),
-            seed=scale.seed,
-        )
-        model = ClientNetworkModel.from_inet(topology)
-        _model_cache[key] = model
-    return model
+    """The Inet-derived client network model for a scale.
+
+    Memoized through the shared :mod:`repro.topology.cache`, so every
+    figure, replicated study and CLI invocation in a process shares one
+    build per ``(parameters, seed)``.
+    """
+    return cached_model(
+        InetParameters(router_count=scale.routers, client_count=scale.clients),
+        seed=scale.seed,
+    )
 
 
 def _cluster_config(scale: Scale) -> ClusterConfig:

@@ -39,6 +39,7 @@ from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.experiments.runner import ExperimentResult, ExperimentSpec, run_experiment
+from repro.topology.cache import ModelLike, resolve_model
 from repro.topology.routing import ClientNetworkModel
 
 #: Progress callback signature: ``(completed_count, total, item)`` where
@@ -118,7 +119,7 @@ def _run_spec_in_worker(index: int, spec: ExperimentSpec):
 
 
 def run_experiments(
-    model: ClientNetworkModel,
+    model: ModelLike,
     specs: Sequence[ExperimentSpec],
     workers: Optional[int] = 1,
     progress: Optional[ProgressFn] = None,
@@ -129,7 +130,13 @@ def run_experiments(
     serial loop.  ``workers=None`` / ``0`` uses one worker per CPU.  Any
     failing spec raises :class:`ParallelExecutionError` with the spec
     attached.
+
+    ``model`` may be a :class:`~repro.topology.cache.ModelKey`; it is
+    resolved through the shared topology cache *here, in the parent*, so
+    the build happens (at most) once and the concrete model ships to
+    every worker via the pool initializer.
     """
+    model = resolve_model(model)
     workers = resolve_workers(workers)
     specs = list(specs)
     total = len(specs)

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.experiments.parallel import ProgressFn, run_experiments
 from repro.experiments.runner import ExperimentSpec
 from repro.metrics.confidence import intervals_overlap, mean_confidence_interval
-from repro.topology.routing import ClientNetworkModel
+from repro.topology.cache import ModelLike
 
 #: The metrics aggregated across replications.
 METRICS = ("mean_latency_ms", "payload_per_delivery", "delivery_ratio",
@@ -86,7 +86,7 @@ def aggregate_summaries(summaries) -> Dict[str, Tuple[float, float]]:
 
 
 def run_replicated(
-    model: ClientNetworkModel,
+    model: ModelLike,
     spec: ExperimentSpec,
     replications: int = 5,
     workers: Optional[int] = 1,
@@ -98,6 +98,8 @@ def run_replicated(
     study is itself reproducible.  ``workers > 1`` fans the replications
     over a process pool; aggregation order follows replication index, so
     the resulting intervals are bit-identical for every worker count.
+    ``model`` may be a :class:`~repro.topology.cache.ModelKey`, resolved
+    through the shared topology cache before dispatch.
     """
     specs = replication_specs(spec, replications)
     results = run_experiments(model, specs, workers=workers, progress=progress)

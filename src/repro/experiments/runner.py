@@ -25,6 +25,7 @@ from repro.metrics.recorder import MetricsRecorder
 from repro.runtime.cluster import Cluster, ClusterConfig
 from repro.runtime.node import StrategyFactory
 from repro.experiments.workload import TrafficConfig, TrafficGenerator
+from repro.topology.cache import ModelLike, resolve_model
 from repro.topology.routing import ClientNetworkModel
 
 #: Maps a network model to named node classes ("best"/"low") for
@@ -77,9 +78,15 @@ class ExperimentResult:
 
 
 def run_experiment(
-    model: ClientNetworkModel, spec: ExperimentSpec
+    model: ModelLike, spec: ExperimentSpec
 ) -> ExperimentResult:
-    """Run one experiment and return its measurements."""
+    """Run one experiment and return its measurements.
+
+    ``model`` may be a built :class:`ClientNetworkModel` or a
+    :class:`~repro.topology.cache.ModelKey`, resolved through the shared
+    topology cache (a cache hit is byte-identical to a cold build).
+    """
+    model = resolve_model(model)
     recorder = MetricsRecorder()
     recorder.disable()
 

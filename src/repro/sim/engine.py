@@ -9,6 +9,7 @@ and full experiment sweeps.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Optional
 
 from repro.sim.events import EventHandle, EventQueue
@@ -108,20 +109,66 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         executed = 0
+        # Hot loop: the heap is accessed directly -- one C heappop per
+        # event (plus a peek only when deadline-bounded), the callback
+        # and its arguments taken straight from the entry unpack, no
+        # per-event method calls or counter writes.  `step()` is not
+        # used here; its method-call and defensive-check overhead is
+        # what this loop exists to avoid.  Holding the heap list across
+        # callbacks is safe because EventQueue mutates it only in place
+        # (push appends, clear()/compaction use in-place mutation,
+        # never rebinding).
+        queue = self._queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        if max_events is None:
+            remaining = -1
+        else:
+            remaining = max_events if max_events > 0 else 0
         try:
-            while True:
-                if max_events is not None and executed >= max_events:
-                    break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self._now = max(self._now, until)
-                    break
-                self.step()
-                executed += 1
-            if until is not None and self._now < until:
-                self._now = until
+            if until is None and remaining == -1:
+                # Full drain, the common case: the tightest loop.
+                while heap:
+                    time, _, callback, args, event = heappop(heap)
+                    if event.cancelled:
+                        queue._dead -= 1
+                        continue
+                    event.fired = True
+                    self._now = time
+                    callback(*args)
+                    executed += 1
+            elif until is None:
+                while remaining != 0 and heap:
+                    time, _, callback, args, event = heappop(heap)
+                    if event.cancelled:
+                        queue._dead -= 1
+                        continue
+                    event.fired = True
+                    self._now = time
+                    callback(*args)
+                    executed += 1
+                    remaining -= 1
+            else:
+                # Deadline-bounded: peek before committing to the pop so
+                # events due after `until` stay queued.
+                while remaining != 0 and heap:
+                    entry = heap[0]
+                    event = entry[4]
+                    if event.cancelled:
+                        heappop(heap)
+                        queue._dead -= 1
+                        continue
+                    time = entry[0]
+                    if time > until:
+                        break
+                    heappop(heap)
+                    event.fired = True
+                    self._now = time
+                    entry[2](*entry[3])
+                    executed += 1
+                    remaining -= 1
+                if self._now < until:
+                    self._now = until
         finally:
             self._running = False
         return executed

@@ -1,11 +1,30 @@
 """Event queue primitives for the discrete-event kernel.
 
-The queue is a binary heap ordered by ``(time, sequence)``.  The sequence
-number guarantees deterministic FIFO ordering among events scheduled for
-the same instant, which in turn makes whole simulation runs reproducible
-bit-for-bit given the same seed.  Cancellation is *lazy*: cancelled events
-stay in the heap but are skipped when popped, which keeps both operations
-O(log n) without the bookkeeping of heap re-ordering.
+The queue is a binary heap of ``(time, sequence, callback, args,
+event)`` tuples.  The sequence number guarantees deterministic FIFO
+ordering among events scheduled for the same instant, which in turn
+makes whole simulation runs reproducible bit-for-bit given the same
+seed.  Because sequence numbers are unique, heap comparisons always
+resolve on the first two tuple elements and run entirely in C -- the
+payload is never compared, which is what makes push/pop cheap enough
+for the millions of events a figure sweep dispatches.  The callback and
+arguments ride in the entry (alongside the event that owns them) so the
+dispatch loop needs no attribute loads to invoke them.
+
+:class:`Event` doubles as its own cancellation handle (the historic
+separate ``EventHandle`` wrapper cost one extra allocation per
+scheduled event; the name survives as an alias for typing and imports).
+
+Cancellation is *lazy*: cancelled events stay in the heap but are
+skipped when popped, which keeps both operations O(log n) without the
+bookkeeping of heap re-ordering.  To stop long churn-heavy runs from
+accumulating dead heap slots, the queue compacts itself once cancelled
+entries outnumber live ones (past a small floor): the heap array is
+rebuilt in place without them, an O(n) operation amortised over the
+>= n/2 cancellations that triggered it.  Compaction cannot perturb pop
+order because the ``(time, seq)`` keys are unique and totally ordered,
+and it mutates the heap list in place so the simulator's run loop can
+safely hold a direct reference to it across callbacks.
 """
 
 from __future__ import annotations
@@ -15,14 +34,27 @@ from typing import Any, Callable, List, Optional, Tuple
 
 
 class Event:
-    """A scheduled callback.
+    """A scheduled callback, doubling as its own cancellation handle.
 
     Instances are created by :class:`EventQueue` and are not meant to be
     built directly by user code.  ``callback`` is invoked as
     ``callback(*args)`` when the event fires.
+
+    As a handle it mirrors the semantics of ``asyncio.TimerHandle``:
+    handles remain valid after the event fires, and cancelling a fired
+    event is a harmless no-op, which keeps caller code free of "has it
+    fired yet?" races.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired", "_queue")
+
+    time: float
+    seq: int
+    callback: Callable[..., Any]
+    args: Tuple[Any, ...]
+    cancelled: bool
+    fired: bool
+    _queue: "EventQueue"
 
     def __init__(
         self,
@@ -30,6 +62,7 @@ class Event:
         seq: int,
         callback: Callable[..., Any],
         args: Tuple[Any, ...],
+        queue: "EventQueue",
     ) -> None:
         self.time = time
         self.seq = seq
@@ -37,8 +70,23 @@ class Event:
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._queue = queue
+
+    def cancel(self) -> None:
+        """Prevent the event from running.  Idempotent; no-op once fired."""
+        if self.fired or self.cancelled:
+            return
+        self.cancelled = True
+        self._queue._on_cancel()
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still queued and will run."""
+        return not (self.fired or self.cancelled)
 
     def __lt__(self, other: "Event") -> bool:
+        # Kept for API compatibility (sorting events directly); the heap
+        # itself orders on (time, seq) tuples and never calls this.
         if self.time != other.time:
             return self.time < other.time
         return self.seq < other.seq
@@ -49,69 +97,51 @@ class Event:
         return f"Event(t={self.time:.3f}, seq={self.seq}, {name}, {state})"
 
 
-class EventHandle:
-    """An opaque handle allowing a scheduled event to be cancelled.
+#: Backwards-compatible alias: ``push()`` still hands out "handles",
+#: they are simply the events themselves now.
+EventHandle = Event
 
-    Handles remain valid after the event fires; cancelling a fired event
-    is a harmless no-op.  This mirrors the semantics of
-    ``asyncio.TimerHandle`` and keeps caller code free of "has it fired
-    yet?" races.
-    """
-
-    __slots__ = ("_event", "_queue")
-
-    def __init__(self, event: Event, queue: "EventQueue") -> None:
-        self._event = event
-        self._queue = queue
-
-    def cancel(self) -> None:
-        """Prevent the event from running.  Idempotent; no-op once fired."""
-        event = self._event
-        if event.fired or event.cancelled:
-            return
-        event.cancelled = True
-        self._queue._live -= 1
-
-    @property
-    def cancelled(self) -> bool:
-        return self._event.cancelled
-
-    @property
-    def fired(self) -> bool:
-        return self._event.fired
-
-    @property
-    def pending(self) -> bool:
-        """True while the event is still queued and will run."""
-        return not (self._event.fired or self._event.cancelled)
-
-    @property
-    def time(self) -> float:
-        """The simulated time at which the event is (was) due."""
-        return self._event.time
+#: A heap slot.  Comparisons stop at ``seq`` (unique), so everything
+#: after it is payload.  ``callback`` and ``args`` ride in the entry --
+#: duplicating the event's own attributes -- so the simulator's dispatch
+#: loop gets them from the tuple unpack it does anyway instead of two
+#: attribute loads per event.
+HeapEntry = Tuple[float, int, Callable[..., Any], Tuple[Any, ...], Event]
 
 
 class EventQueue:
-    """A cancellable priority queue of :class:`Event` objects."""
+    """A cancellable priority queue of :class:`Event` objects.
+
+    Live-event accounting is *derived*, not maintained per pop: fired
+    events leave the heap immediately and cancelled ones are counted in
+    ``_dead``, so ``len(queue)`` is exactly
+    ``len(heap) - dead`` at every instant -- with zero bookkeeping on
+    the dispatch hot path.
+    """
+
+    #: Compaction floor: below this many dead entries a rebuild is not
+    #: worth the O(n) pass, whatever the dead/live ratio.
+    COMPACT_MIN = 64
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[HeapEntry] = []
         self._seq = 0
-        self._live = 0
+        #: Cancelled events still occupying heap slots.
+        self._dead = 0
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled, non-fired) events queued."""
-        return self._live
+        return len(self._heap) - self._dead
 
     def push(
         self, time: float, callback: Callable[..., Any], *args: Any
     ) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute simulated ``time``."""
-        event = Event(time, self._seq, callback, args)
-        self._seq += 1
-        self._live += 1
-        heapq.heappush(self._heap, event)
-        return EventHandle(event, self)
+        seq = self._seq
+        event = Event(time, seq, callback, args, self)
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, callback, args, event))
+        return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event, or ``None`` if empty.
@@ -119,26 +149,75 @@ class EventQueue:
         Cancelled events encountered on the way are discarded silently.
         The returned event is marked as fired.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[4]
             if event.cancelled:
+                self._dead -= 1
                 continue
             event.fired = True
-            self._live -= 1
+            return event
+        return None
+
+    def pop_due(self, limit: Optional[float]) -> Optional[Event]:
+        """Fused peek+pop: the next live event due at or before ``limit``.
+
+        Returns ``None`` when the queue is empty or the next live event
+        is due after ``limit`` (leaving it queued).  ``limit=None`` means
+        no bound.  One heap access per call, replacing the historic
+        ``peek_time()`` + ``pop()`` double traversal.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[4]
+            if event.cancelled:
+                heapq.heappop(heap)
+                self._dead -= 1
+                continue
+            if limit is not None and entry[0] > limit:
+                return None
+            heapq.heappop(heap)
+            event.fired = True
             return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][4].cancelled:
+            heapq.heappop(heap)
+            self._dead -= 1
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def clear(self) -> None:
         """Drop every queued event."""
-        for event in self._heap:
-            event.cancelled = True
+        for entry in self._heap:
+            entry[4].cancelled = True
         self._heap.clear()
-        self._live = 0
+        self._dead = 0
+
+    # -- lazy-cancellation bookkeeping ---------------------------------
+
+    def _on_cancel(self) -> None:
+        """Account for one lazily-cancelled entry; compact when dead
+        slots dominate the heap."""
+        self._dead += 1
+        if self._dead >= self.COMPACT_MIN and self._dead * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap array, in place, without cancelled entries.
+
+        Safe for determinism: ``(time, seq)`` keys are unique, so pop
+        order is a property of the entry *set*, not of the heap's
+        internal array layout.  In-place mutation (slice assignment, not
+        rebinding) keeps external references to the heap list valid --
+        the simulator's inlined run loop relies on this.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[4].cancelled]
+        heapq.heapify(heap)
+        self._dead = 0

@@ -1,0 +1,232 @@
+"""Memoized topology/model construction.
+
+Building the paper-scale network model is the single most expensive
+setup step of the evaluation pipeline: generating the 3037-router Inet
+graph and routing between 100 clients costs seconds, and every figure
+sweep, replicated study and CLI invocation needs the *same* model for a
+given ``(parameters, seed)`` pair -- :func:`repro.topology.inet.generate_inet`
+is deterministic by contract.
+
+This module provides that memoization in one place:
+
+- :class:`ModelKey` -- a frozen, picklable description of a model
+  ("these Inet parameters, this seed").  Because it is tiny it can be
+  shipped across process boundaries where a built model would be
+  wasteful, and resolved into a concrete model on the other side.
+- :class:`TopologyCache` -- an LRU of built models with hit/miss
+  counters and an *opt-in* on-disk pickle store, so repeated tool
+  invocations (benchmarks, CLI runs) can skip model construction
+  entirely.
+- A module-level shared cache with :func:`cached_model` /
+  :func:`resolve_model` convenience entry points; the experiment layer
+  (:mod:`repro.experiments.figures`, ``runner``, ``parallel``,
+  ``replication``) funnels all model construction through these.
+
+Correctness note: the cache stores the model object itself and hands it
+out to every caller.  That is safe because :class:`ClientNetworkModel`
+is immutable after construction (its derived-statistic caches are
+invalidation-free), and it is *required* for byte-equality: a cache hit
+must be indistinguishable from a cold build, which the regression tests
+in ``tests/topology/test_cache.py`` pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.topology.inet import InetParameters, generate_inet
+from repro.topology.routing import ClientNetworkModel
+
+#: Bumped whenever the generator or model layout changes in a way that
+#: invalidates previously pickled models.  Part of the disk filename, so
+#: stale entries are simply never looked up again.
+CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ModelKey:
+    """A hashable, picklable recipe for one deterministic model build."""
+
+    parameters: InetParameters = field(default_factory=InetParameters)
+    seed: int = 0
+
+    def digest(self) -> str:
+        """Stable content digest; names the on-disk cache entry.
+
+        ``InetParameters`` is a frozen dataclass of plain numbers, so its
+        ``repr`` is a complete, deterministic description of the build.
+        """
+        payload = repr((CACHE_VERSION, self.parameters, self.seed))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def build(self) -> ClientNetworkModel:
+        """Cold build: generate the topology and derive the model."""
+        topology = generate_inet(self.parameters, seed=self.seed)
+        return ClientNetworkModel.from_inet(topology)
+
+
+class TopologyCache:
+    """LRU cache of built :class:`ClientNetworkModel` objects.
+
+    Parameters
+    ----------
+    maxsize:
+        In-process entries kept; least-recently-used models are evicted
+        beyond this.  Paper-scale models are a few MB each, so the
+        default keeps memory bounded even across many scales.
+    disk_path:
+        Optional directory for a persistent pickle store.  When set,
+        misses consult ``<disk_path>/<digest>.pkl`` before building and
+        write freshly built models back (atomically, via rename).  Off
+        by default: tests and golden-trace jobs must not pick up state
+        from previous runs unless they ask for it.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 8,
+        disk_path: Optional[Union[str, "os.PathLike[str]"]] = None,
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.disk_path = os.fspath(disk_path) if disk_path is not None else None
+        self._entries: "OrderedDict[ModelKey, ClientNetworkModel]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: ModelKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: ModelKey) -> ClientNetworkModel:
+        """The model for ``key``, built (or loaded from disk) on miss."""
+        entries = self._entries
+        model = entries.get(key)
+        if model is not None:
+            self.hits += 1
+            entries.move_to_end(key)
+            return model
+        self.misses += 1
+        model = self._load_from_disk(key)
+        if model is None:
+            model = key.build()
+            self._store_to_disk(key, model)
+        entries[key] = model
+        if len(entries) > self.maxsize:
+            entries.popitem(last=False)
+        return model
+
+    def model(
+        self,
+        parameters: Optional[InetParameters] = None,
+        seed: int = 0,
+    ) -> ClientNetworkModel:
+        """Convenience wrapper over :meth:`get` for bare parameters."""
+        return self.get(ModelKey(parameters or InetParameters(), seed=seed))
+
+    def clear(self) -> None:
+        """Drop in-memory entries and reset counters (disk is untouched)."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for observability and the cache regression tests."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+        }
+
+    # -- disk store ----------------------------------------------------
+
+    def configure_disk(
+        self, disk_path: Optional[Union[str, "os.PathLike[str]"]]
+    ) -> None:
+        """Enable (or, with ``None``, disable) the persistent store."""
+        self.disk_path = os.fspath(disk_path) if disk_path is not None else None
+
+    def _entry_path(self, key: ModelKey) -> str:
+        assert self.disk_path is not None
+        return os.path.join(self.disk_path, f"{key.digest()}.pkl")
+
+    def _load_from_disk(self, key: ModelKey) -> Optional[ClientNetworkModel]:
+        if self.disk_path is None:
+            return None
+        path = self._entry_path(key)
+        try:
+            with open(path, "rb") as handle:
+                model = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            # Missing, unreadable or truncated entries read as misses;
+            # the build below overwrites them with a good copy.
+            return None
+        if not isinstance(model, ClientNetworkModel):  # pragma: no cover
+            return None
+        self.disk_hits += 1
+        return model
+
+    def _store_to_disk(self, key: ModelKey, model: ClientNetworkModel) -> None:
+        if self.disk_path is None:
+            return
+        os.makedirs(self.disk_path, exist_ok=True)
+        path = self._entry_path(key)
+        # Write-then-rename so a crashed or concurrent writer can never
+        # leave a half-written pickle where a reader will find it.
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "wb") as handle:
+                pickle.dump(model, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except OSError:  # pragma: no cover - disk store is best-effort
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+
+# -- the shared process-wide cache ------------------------------------------
+
+_SHARED = TopologyCache()
+
+#: What the experiment layer accepts wherever a model is expected: a
+#: built model, or a key resolved through the shared cache at the last
+#: responsible moment (in the parent process, before any fan-out).
+ModelLike = Union[ClientNetworkModel, ModelKey]
+
+
+def shared_cache() -> TopologyCache:
+    """The process-wide cache used by :func:`cached_model`."""
+    return _SHARED
+
+
+def configure_disk_cache(
+    disk_path: Optional[Union[str, "os.PathLike[str]"]]
+) -> None:
+    """Point the shared cache at a persistent directory (``None`` = off)."""
+    _SHARED.configure_disk(disk_path)
+
+
+def cached_model(
+    parameters: Optional[InetParameters] = None, seed: int = 0
+) -> ClientNetworkModel:
+    """The memoized model for ``(parameters, seed)``."""
+    return _SHARED.model(parameters, seed=seed)
+
+
+def resolve_model(model: ModelLike) -> ClientNetworkModel:
+    """Turn a :class:`ModelKey` into a model; pass built models through."""
+    if isinstance(model, ModelKey):
+        return _SHARED.get(model)
+    return model

@@ -33,10 +33,13 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.topology.geometry import Point, clamp, euclidean
 from repro.topology.graph import NodeKind, RouterTopology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.topology.routing import ClientNetworkModel
 
 
 @dataclass(frozen=True)
@@ -90,7 +93,14 @@ class InetParameters:
 
 @dataclass
 class InetTopology:
-    """A generated topology plus the client attachment bookkeeping."""
+    """A generated topology plus the client attachment bookkeeping.
+
+    ``model``, when present, is the client network model derived from
+    the calibration sweep: building it costs nothing beyond the Dijkstra
+    results calibration needed anyway, so
+    :meth:`~repro.topology.routing.ClientNetworkModel.from_inet` can
+    skip its own N-sweep pass entirely.
+    """
 
     graph: RouterTopology
     parameters: InetParameters
@@ -98,6 +108,7 @@ class InetTopology:
     stub_ids: List[int]
     client_ids: List[int]
     calibration_factor: float
+    model: Optional["ClientNetworkModel"] = None
 
 
 def generate_inet(
@@ -117,8 +128,9 @@ def generate_inet(
     client_ids = _attach_clients(graph, params, rng, stub_ids)
 
     factor = 1.0
+    model: Optional["ClientNetworkModel"] = None
     if params.target_mean_latency_ms is not None:
-        factor = _calibrate(graph, params, client_ids)
+        factor, model = _calibrate(graph, params, client_ids)
 
     return InetTopology(
         graph=graph,
@@ -127,6 +139,7 @@ def generate_inet(
         stub_ids=stub_ids,
         client_ids=client_ids,
         calibration_factor=factor,
+        model=model,
     )
 
 
@@ -293,19 +306,34 @@ def _attach_clients(
 
 def _calibrate(
     graph: RouterTopology, params: InetParameters, client_ids: List[int]
-) -> float:
+) -> Tuple[float, Optional["ClientNetworkModel"]]:
     """Rescale router-router latencies so the mean client pair latency
     matches ``target_mean_latency_ms`` exactly.
 
     Uniform rescaling of non-access links cannot change hop-count-first
     routing decisions, so measuring once and scaling once is exact:
     ``mean = access_part + router_part`` and only ``router_part`` scales.
-    """
-    from repro.topology.routing import mean_client_latency_split
 
-    access_part, router_part = mean_client_latency_split(graph, client_ids)
+    The measurement pass is one full Dijkstra sweep per client -- the
+    same sweep :meth:`ClientNetworkModel.from_topology` would re-run to
+    build the client matrices.  Because scaling is uniform, the
+    post-calibration matrices are derivable from the pre-calibration
+    sweep (access parts fixed, router part times the factor), so the
+    sweep is run once here and both the factor and the finished model
+    come out of it.
+    """
+    from repro.topology.routing import (
+        ClientNetworkModel,
+        client_routing_sweep,
+        mean_client_latency_split,
+    )
+
+    sweep = client_routing_sweep(graph, client_ids)
+    access_part, router_part = mean_client_latency_split(
+        graph, client_ids, sweep=sweep
+    )
     if router_part <= 0:  # pragma: no cover - degenerate topologies
-        return 1.0
+        return 1.0, None
     target = params.target_mean_latency_ms
     factor = (target - access_part) / router_part
     if factor <= 0:
@@ -314,4 +342,7 @@ def _calibrate(
             f"({access_part:.2f} ms)"
         )
     graph.scale_latencies(factor, kinds={NodeKind.TRANSIT, NodeKind.STUB})
-    return factor
+    model = ClientNetworkModel.from_scaled_sweep(
+        graph, client_ids, sweep, factor
+    )
+    return factor, model

@@ -54,8 +54,29 @@ def shortest_paths(
     return hops, latency
 
 
-def mean_client_latency_split(
+#: Per-source routing results, one ``(hops, latency)`` pair per client in
+#: ``client_ids`` order -- the unit of reuse between latency calibration
+#: and model construction (each needs the same N Dijkstra sweeps).
+RoutingSweep = List[Tuple[List[int], List[float]]]
+
+
+def client_routing_sweep(
     graph: RouterTopology, client_ids: Sequence[int]
+) -> RoutingSweep:
+    """Run :func:`shortest_paths` once per client, in client order.
+
+    The result feeds both :func:`mean_client_latency_split` and
+    :meth:`ClientNetworkModel.from_topology`; computing it once and
+    passing it to both halves the dominant cost of building an Inet
+    model (N full Dijkstra sweeps over a 3000+-router graph).
+    """
+    return [shortest_paths(graph, source) for source in client_ids]
+
+
+def mean_client_latency_split(
+    graph: RouterTopology,
+    client_ids: Sequence[int],
+    sweep: Optional[RoutingSweep] = None,
 ) -> Tuple[float, float]:
     """Mean client-pair latency split into (access part, router part).
 
@@ -63,6 +84,10 @@ def mean_client_latency_split(
     exactly the two endpoint access links; the access part is therefore
     the mean of the two access-link latencies over all pairs and the
     router part is the remainder.  Used by latency calibration.
+
+    ``sweep`` allows reusing per-source routing results already computed
+    by :func:`client_routing_sweep` instead of re-running a full
+    Dijkstra per client.
     """
     if len(client_ids) < 2:
         raise ValueError("need at least two clients")
@@ -73,7 +98,10 @@ def mean_client_latency_split(
     access_total = 0.0
     pair_count = 0
     for index, source in enumerate(client_ids):
-        _, latency = shortest_paths(graph, source)
+        latency = (
+            sweep[index][1] if sweep is not None
+            else shortest_paths(graph, source)[1]
+        )
         for target in client_ids[index + 1 :]:
             total += latency[target]
             access_total += access[source] + access[target]
@@ -107,19 +135,36 @@ class ClientNetworkModel:
         self.latency_ms = latency_ms
         self.hops = hops
         self.positions = positions
+        # Derived-statistic caches.  The matrices are immutable after
+        # construction, so these never need invalidation; they are
+        # computed on first use with exactly the historic arithmetic
+        # (same summation order) so cached and uncached values are
+        # bit-identical.
+        self._mean_latency: Optional[float] = None
+        self._closeness: Optional[List[float]] = None
 
     # -- constructors ------------------------------------------------------
 
     @classmethod
     def from_topology(
-        cls, graph: RouterTopology, client_ids: Sequence[int]
+        cls,
+        graph: RouterTopology,
+        client_ids: Sequence[int],
+        sweep: Optional["RoutingSweep"] = None,
     ) -> "ClientNetworkModel":
-        """Build matrices by routing between the given client nodes."""
+        """Build matrices by routing between the given client nodes.
+
+        ``sweep`` reuses per-source routing results already computed by
+        :func:`client_routing_sweep` (e.g. during Inet latency
+        calibration) instead of re-running a full Dijkstra per client.
+        """
         n = len(client_ids)
         latency_ms = [[0.0] * n for _ in range(n)]
         hop_matrix = [[0] * n for _ in range(n)]
         for i, source in enumerate(client_ids):
-            hops, latency = shortest_paths(graph, source)
+            hops, latency = (
+                sweep[i] if sweep is not None else shortest_paths(graph, source)
+            )
             for j, target in enumerate(client_ids):
                 if i == j:
                     continue
@@ -133,8 +178,56 @@ class ClientNetworkModel:
         return cls(latency_ms, hop_matrix, positions)
 
     @classmethod
+    def from_scaled_sweep(
+        cls,
+        graph: RouterTopology,
+        client_ids: Sequence[int],
+        sweep: "RoutingSweep",
+        router_scale: float,
+    ) -> "ClientNetworkModel":
+        """Build matrices from a pre-calibration sweep plus the
+        calibration factor.
+
+        Uniform rescaling of router-router links cannot change which
+        paths hop-count-first routing picks (see
+        :mod:`repro.topology.inet`), so the post-calibration latency of a
+        client pair is ``access_i + access_j + factor * router_part`` --
+        derivable from the *unscaled* sweep without re-running Dijkstra.
+        Client access links are degree-1 leaves excluded from scaling.
+        """
+        n = len(client_ids)
+        access = [graph.adjacency[client][0][1] for client in client_ids]
+        latency_ms = [[0.0] * n for _ in range(n)]
+        hop_matrix = [[0] * n for _ in range(n)]
+        for i, source in enumerate(client_ids):
+            hops, latency = sweep[i]
+            access_i = access[i]
+            row = latency_ms[i]
+            hop_row = hop_matrix[i]
+            for j, target in enumerate(client_ids):
+                if i == j:
+                    continue
+                if hops[target] < 0:
+                    raise ValueError(
+                        f"client {target} unreachable from client {source}"
+                    )
+                router_part = latency[target] - access_i - access[j]
+                row[j] = access_i + access[j] + router_scale * router_part
+                hop_row[j] = hops[target]
+        positions = [graph.positions[c] for c in client_ids]
+        return cls(latency_ms, hop_matrix, positions)
+
+    @classmethod
     def from_inet(cls, inet_topology) -> "ClientNetworkModel":
-        """Build from a :class:`repro.topology.inet.InetTopology`."""
+        """Build from a :class:`repro.topology.inet.InetTopology`.
+
+        Calibrated topologies carry the model derived from their
+        calibration sweep; reuse it rather than re-running a full
+        Dijkstra sweep per client.
+        """
+        model = getattr(inet_topology, "model", None)
+        if model is not None:
+            return model
         return cls.from_topology(inet_topology.graph, inet_topology.client_ids)
 
     @classmethod
@@ -169,27 +262,45 @@ class ClientNetworkModel:
         return euclidean(self.positions[a], self.positions[b])
 
     def mean_latency(self) -> float:
-        """Mean latency over ordered client pairs."""
+        """Mean latency over ordered client pairs (cached on first use)."""
+        cached = self._mean_latency
+        if cached is not None:
+            return cached
         n = self.size
         if n < 2:
-            return 0.0
-        total = sum(
-            self.latency_ms[i][j] for i in range(n) for j in range(n) if i != j
-        )
-        return total / (n * (n - 1))
+            result = 0.0
+        else:
+            total = sum(
+                self.latency_ms[i][j]
+                for i in range(n)
+                for j in range(n)
+                if i != j
+            )
+            result = total / (n * (n - 1))
+        self._mean_latency = result
+        return result
 
     def closeness(self, node: int) -> float:
         """Mean latency from ``node`` to every other client.
 
         Lower is more central; the oracle ranking uses this as the node
         quality metric (a well-placed node can serve many peers quickly).
+        Computed for every node on first use and cached: ranking
+        refreshes ask for it per node per refresh, which used to cost an
+        O(n) scan each time.
         """
-        n = self.size
-        if n < 2:
-            return 0.0
-        return sum(self.latency_ms[node][j] for j in range(n) if j != node) / (
-            n - 1
-        )
+        cache = self._closeness
+        if cache is None:
+            n = self.size
+            if n < 2:
+                cache = [0.0] * n
+            else:
+                cache = [
+                    sum(row[j] for j in range(n) if j != i) / (n - 1)
+                    for i, row in enumerate(self.latency_ms)
+                ]
+            self._closeness = cache
+        return cache[node]
 
     def nearest(self, node: int, candidates: Sequence[int]) -> Optional[int]:
         """The candidate with the lowest latency from ``node``."""
