@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-core lint evaluate evaluate-quick figures clean
+.PHONY: install test bench bench-core bench-megasim lint evaluate evaluate-quick figures clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -17,9 +17,15 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Simulation-substrate microbenchmarks (event kernel, fabric, model
-# cache); records BENCH_SIM_CORE.json and asserts the 2x dispatch gate.
+# cache); records results/BENCH_SIM_CORE.json and asserts the 2x
+# dispatch gate.
 bench-core:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_sim_core.py --benchmark-only -q
+
+# Vectorized scale tier: 100k-node epidemics via repro.megasim; records
+# results/BENCH_MEGASIM.json (requires the `vector` extra / numpy).
+bench-megasim:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_megasim.py --benchmark-only -q
 
 # Static analysis: the determinism linter always runs; ruff/mypy run
 # when installed (CI installs both; the minimal dev container may not).

@@ -1,7 +1,7 @@
 """Simulation-substrate microbenchmarks: event kernel, fabric, model cache.
 
 Measures the three hot paths this repo's sweeps live on and records them
-to ``BENCH_SIM_CORE.json`` at the repo root:
+to ``results/BENCH_SIM_CORE.json``:
 
 - **Event dispatch**: drain a pre-filled queue through ``Simulator.run``
   vs an inline, faithful copy of the pre-tuple-heap kernel (object heap,
@@ -36,7 +36,7 @@ from repro.topology.cache import TopologyCache
 from repro.topology.inet import InetParameters
 from repro.topology.routing import ClientNetworkModel
 
-RESULTS = Path(__file__).resolve().parent.parent / "BENCH_SIM_CORE.json"
+RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_SIM_CORE.json"
 
 #: Queue depth for the asserted dispatch measurement.  A protocol run
 #: keeps hundreds to a few thousand events pending (per-node timers plus
@@ -319,6 +319,7 @@ def test_sim_core_throughput_recorded(benchmark):
         }
 
     entry = run_once(benchmark, measure)
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
     RESULTS.write_text(json.dumps(entry, indent=2) + "\n")
 
     dispatch = entry["dispatch"]

@@ -16,6 +16,7 @@ import inspect
 import sys
 from typing import List, Optional
 
+from repro.backends import BACKEND_NAMES, get_backend
 from repro.experiments.parallel import resolve_workers
 from repro.experiments.replication import run_replicated
 
@@ -33,7 +34,7 @@ from repro.experiments.figures import (
     section54_statistics,
 )
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.experiments.runner import ExperimentSpec
 from repro.experiments.scenarios import (
     flat_factory,
     hybrid_factory,
@@ -104,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="eager probability for the flat strategy")
     run.add_argument("--rounds", type=int, default=3,
                      help="eager rounds for the TTL strategy")
+    run.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default="event",
+        help="simulation backend: the discrete-event kernel (default) "
+        "or the vectorized round kernel (requires the repro[vector] "
+        "extra; oracle strategies only)",
+    )
     _add_scale_arguments(run)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure/table")
@@ -163,6 +170,12 @@ def command_run(args: argparse.Namespace) -> int:
         seed=scale.seed,
     )
     if args.replications > 1:
+        if args.backend != "event":
+            print(
+                "--replications is only supported by the event backend",
+                file=sys.stderr,
+            )
+            return 2
         replicated = run_replicated(
             model,
             spec,
@@ -171,7 +184,8 @@ def command_run(args: argparse.Namespace) -> int:
         )
         row = dict(strategy=args.strategy, **replicated.row())
     else:
-        result = run_experiment(model, spec)
+        backend = get_backend(args.backend, workers=args.workers)
+        result = backend.run(model, spec)
         row = dict(strategy=args.strategy, **result.summary.row())
     print(format_table([row]))
     return 0

@@ -52,6 +52,7 @@ CORE_MODULES: Tuple[str, ...] = (
 #: progress reporting).  Simulated time never flows through these.
 WALL_CLOCK_ALLOWLIST: Tuple[str, ...] = (
     "repro.experiments.parallel",
+    "repro.megasim.cli",
     "benchmarks",
     "bench_",
 )

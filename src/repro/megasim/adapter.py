@@ -1,0 +1,427 @@
+"""Bridges between the event-kernel world and the vector backend.
+
+Inbound: a :class:`VectorTopology` gives the round kernel the three
+things a transmission strategy may ask of the environment -- pairwise
+metrics (latency / pseudo-geographic distance), the oracle best-node
+set, and the slot duration.  :class:`DenseTopology` wraps an existing
+:class:`~repro.topology.routing.ClientNetworkModel` (so the differential
+harness runs both backends against the *same* environment, including
+the exact `OracleRanking` tie-breaking); :class:`UniformTopology` and
+:class:`PlaneTopology` are synthetic environments that never materialize
+an O(n^2) matrix and therefore scale to 10^6 nodes.
+
+Outbound: :func:`to_recorder` replays a finished run into a
+:class:`~repro.metrics.recorder.MetricsRecorder` (small N -- it builds
+per-message Python dicts), and :func:`summary_from_outcomes` computes a
+:class:`~repro.metrics.analysis.RunSummary` directly from slot
+histograms with the same formulas ``summarize()`` uses, so large runs
+report in the recorder's metric schema without recorder-sized state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Tuple
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.metrics.analysis import RunSummary
+from repro.metrics.confidence import mean_confidence_interval
+from repro.metrics.recorder import MetricsRecorder
+from repro.metrics.structure import link_concentration
+from repro.monitors.ranking import OracleRanking
+from repro.network.message import control_packet_size, payload_packet_size
+from repro.sim.rng import RandomStreams
+from repro.topology.routing import ClientNetworkModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.megasim.rounds import MessageOutcome
+
+#: Metric kinds a strategy may request, mirroring the oracle monitors.
+METRIC_LATENCY = "latency"
+METRIC_DISTANCE = "distance"
+
+
+class VectorTopology(Protocol):
+    """What the vectorized strategies need from an environment."""
+
+    @property
+    def size(self) -> int: ...
+
+    @property
+    def round_ms(self) -> float:
+        """Slot duration: the one-way latency a slot represents."""
+        ...
+
+    def metric(
+        self, kind: str, src: NDArray[np.int32], dst: NDArray[np.int32]
+    ) -> NDArray[np.float64]:
+        """``Metric(p)`` of the oracle monitor at ``src`` about ``dst``."""
+        ...
+
+    def best_mask(self, fraction: float) -> NDArray[np.bool_]:
+        """Boolean membership array of the oracle best-node set."""
+        ...
+
+
+def _check_kind(kind: str) -> None:
+    if kind not in (METRIC_LATENCY, METRIC_DISTANCE):
+        raise ValueError(f"unknown metric kind {kind!r}")
+
+
+class DenseTopology:
+    """A :class:`ClientNetworkModel` viewed as vector arrays.
+
+    The best-node set is computed by the *same*
+    :class:`~repro.monitors.ranking.OracleRanking` code the event-kernel
+    factories use -- closeness summation order and sort stability
+    included -- so both backends agree on who is a hub even on ties.
+
+    ``round_ms`` defaults to the uniform off-diagonal latency when the
+    matrix is uniform (the slot-exact differential regime) and to the
+    model's mean latency otherwise (round-approximate mode).
+    """
+
+    def __init__(
+        self, model: ClientNetworkModel, round_ms: Optional[float] = None
+    ) -> None:
+        self.model = model
+        self._latency = np.asarray(model.latency_ms, dtype=np.float64)
+        self._px = np.asarray([p.x for p in model.positions], dtype=np.float64)
+        self._py = np.asarray([p.y for p in model.positions], dtype=np.float64)
+        self._best_masks: Dict[float, NDArray[np.bool_]] = {}
+        if round_ms is None:
+            round_ms = self._uniform_latency() or model.mean_latency()
+        if round_ms <= 0:
+            raise ValueError(f"round_ms must be positive, got {round_ms}")
+        self._round_ms = float(round_ms)
+
+    def _uniform_latency(self) -> Optional[float]:
+        """The single off-diagonal latency, or None when non-uniform."""
+        n = self.model.size
+        if n < 2:
+            return None
+        off = self._latency[~np.eye(n, dtype=bool)]
+        value = float(off[0])
+        if value > 0 and bool(np.all(off == value)):
+            return value
+        return None
+
+    @property
+    def size(self) -> int:
+        return self.model.size
+
+    @property
+    def round_ms(self) -> float:
+        return self._round_ms
+
+    @property
+    def is_slot_exact(self) -> bool:
+        """True when the latency matrix is uniform, i.e. the event
+        kernel degenerates to exactly one slot per hop."""
+        return self._uniform_latency() is not None
+
+    def metric(
+        self, kind: str, src: NDArray[np.int32], dst: NDArray[np.int32]
+    ) -> NDArray[np.float64]:
+        _check_kind(kind)
+        if kind == METRIC_LATENCY:
+            result = self._latency[src, dst]
+        else:
+            # math.hypot and np.hypot share the libm implementation, so
+            # this matches geometry.euclidean bit-for-bit.
+            result = np.hypot(
+                self._px[src] - self._px[dst], self._py[src] - self._py[dst]
+            )
+        return np.asarray(result, dtype=np.float64)
+
+    def best_mask(self, fraction: float) -> NDArray[np.bool_]:
+        mask = self._best_masks.get(fraction)
+        if mask is None:
+            ranking = OracleRanking(self.model, fraction)
+            mask = np.zeros(self.size, dtype=bool)
+            mask[sorted(ranking.best_nodes)] = True
+            self._best_masks[fraction] = mask
+        return mask
+
+
+class UniformTopology:
+    """All pairs one latency apart; positions ``(i, 0)`` on a line.
+
+    The synthetic twin of :meth:`ClientNetworkModel.uniform` without the
+    O(n^2) matrices.  With all closeness values equal, `OracleRanking`'s
+    stable sort selects ids ``0..count-1`` -- reproduced here exactly.
+    """
+
+    def __init__(self, n: int, latency_ms: float = 50.0) -> None:
+        if n < 1:
+            raise ValueError(f"need at least one node, got {n}")
+        if latency_ms <= 0:
+            raise ValueError(f"latency_ms must be positive, got {latency_ms}")
+        self._n = n
+        self._latency_ms = float(latency_ms)
+
+    @property
+    def size(self) -> int:
+        return self._n
+
+    @property
+    def round_ms(self) -> float:
+        return self._latency_ms
+
+    def metric(
+        self, kind: str, src: NDArray[np.int32], dst: NDArray[np.int32]
+    ) -> NDArray[np.float64]:
+        _check_kind(kind)
+        if kind == METRIC_LATENCY:
+            result = np.where(src == dst, 0.0, self._latency_ms)
+        else:
+            result = np.abs(src.astype(np.float64) - dst.astype(np.float64))
+        return np.asarray(result, dtype=np.float64)
+
+    def best_mask(self, fraction: float) -> NDArray[np.bool_]:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction out of range: {fraction}")
+        count = max(1, round(self._n * fraction))
+        mask = np.zeros(self._n, dtype=bool)
+        mask[:count] = True
+        return mask
+
+
+class PlaneTopology:
+    """Random positions on a square plane; latency = distance in ms.
+
+    The scale-tier environment: per-pair quantities are computed on
+    demand from position arrays, so memory is O(n).  The best-node set
+    uses distance-to-centroid as the closeness proxy (exact mean
+    pairwise distance is O(n^2) and this topology has no event-kernel
+    twin to be bit-equal with).
+    """
+
+    def __init__(self, n: int, seed: int = 0, side: float = 100.0) -> None:
+        if n < 1:
+            raise ValueError(f"need at least one node, got {n}")
+        if side <= 0:
+            raise ValueError(f"side must be positive, got {side}")
+        self._n = n
+        self.side = float(side)
+        rng = np.random.default_rng(
+            RandomStreams(seed).derive_seed("megasim.topology.plane")
+        )
+        self._px = rng.uniform(0.0, side, n)
+        self._py = rng.uniform(0.0, side, n)
+        self._round_ms = side / 2.0
+
+    @property
+    def size(self) -> int:
+        return self._n
+
+    @property
+    def round_ms(self) -> float:
+        return self._round_ms
+
+    def metric(
+        self, kind: str, src: NDArray[np.int32], dst: NDArray[np.int32]
+    ) -> NDArray[np.float64]:
+        _check_kind(kind)
+        result = np.hypot(
+            self._px[src] - self._px[dst], self._py[src] - self._py[dst]
+        )
+        return np.asarray(result, dtype=np.float64)
+
+    def best_mask(self, fraction: float) -> NDArray[np.bool_]:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction out of range: {fraction}")
+        count = max(1, round(self._n * fraction))
+        centroid_x = float(np.mean(self._px))
+        centroid_y = float(np.mean(self._py))
+        closeness = np.hypot(self._px - centroid_x, self._py - centroid_y)
+        best = np.argsort(closeness, kind="stable")[:count]
+        mask = np.zeros(self._n, dtype=bool)
+        mask[best] = True
+        return mask
+
+
+def build_views(
+    n: int, degree: int, rng: np.random.Generator
+) -> NDArray[np.int32]:
+    """A static partial view per node: ``(n, degree)`` peer ids.
+
+    Models the shuffled overlay's steady state as a fixed random
+    ``degree``-regular out-view (each row is a uniform sample of others
+    without replacement) -- the structure the round kernel gossips over
+    when oracle sampling is not wanted.
+    """
+    if degree < 1 or degree > n - 1:
+        raise ValueError(f"degree must be in [1, {n - 1}], got {degree}")
+    views = np.empty((n, degree), dtype=np.int32)
+    for node in range(n):
+        row = rng.choice(n - 1, size=degree, replace=False).astype(np.int32)
+        row += row >= node  # skip self
+        views[node] = row
+    return views
+
+
+# -- results adapters --------------------------------------------------------
+
+
+def to_recorder(
+    outcomes: "List[MessageOutcome]",
+    round_ms: float,
+    payload_bytes: int = 256,
+) -> MetricsRecorder:
+    """Replay finished messages into a recorder (small-N analysis path).
+
+    Every message is timestamped from 0, so latencies are
+    ``slot * round_ms`` exactly as the kernel measured them.  Builds
+    per-(message, node) dict entries -- do not call this at 10^5+ nodes;
+    use :func:`summary_from_outcomes` there.
+    """
+    recorder = MetricsRecorder()
+    msg_size = payload_packet_size(payload_bytes)
+    ctrl_size = control_packet_size()
+    for message_id, outcome in enumerate(outcomes):
+        recorder.on_multicast(message_id, outcome.origin, 0.0)
+        delivered = np.flatnonzero(outcome.deliver_slot >= 0)
+        slots = outcome.deliver_slot[delivered]
+        for node, slot in zip(delivered.tolist(), slots.tolist()):
+            recorder.on_app_deliver(node, message_id, slot * round_ms)
+        recorder.sent_packets["MSG"] += outcome.msg_sent
+        recorder.sent_bytes["MSG"] += outcome.msg_sent * msg_size
+        recorder.sent_packets["IHAVE"] += outcome.ihave_sent
+        recorder.sent_bytes["IHAVE"] += outcome.ihave_sent * ctrl_size
+        recorder.sent_packets["IWANT"] += outcome.iwant_sent
+        recorder.sent_bytes["IWANT"] += outcome.iwant_sent * ctrl_size
+        recorder.delivered_packets["MSG"] += int(outcome.payload_received.sum())
+        for node in np.flatnonzero(outcome.payload_sent).tolist():
+            recorder.node_payload_sent[node] += int(outcome.payload_sent[node])
+        for node in np.flatnonzero(outcome.payload_received).tolist():
+            recorder.node_payload_received[node] += int(
+                outcome.payload_received[node]
+            )
+        if outcome.link_counts is not None:
+            for link, count in outcome.link_counts.items():
+                recorder.link_payload_counts[link] += count
+                recorder.link_payload_bytes[link] += count * msg_size
+    return recorder
+
+
+def _slot_latency_stats(
+    slot_histogram: Dict[int, int], round_ms: float
+) -> Tuple[float, float, float, float]:
+    """(mean, ci, median, p95) latency from a delivery-slot histogram.
+
+    Matches ``summarize()``: sample variance with the z=1.96 normal
+    interval, and the linear-interpolation percentile of
+    ``analysis._percentile`` evaluated over the (virtually) sorted
+    latency list.
+    """
+    total = sum(slot_histogram.values())
+    if total == 0:
+        return float("nan"), float("nan"), float("nan"), float("nan")
+    values = np.array(sorted(slot_histogram), dtype=np.float64) * round_ms
+    counts = np.array(
+        [slot_histogram[s] for s in sorted(slot_histogram)], dtype=np.int64
+    )
+    if total <= 4096:
+        # Small runs: expand and reuse the exact shared implementation.
+        expanded = np.repeat(values, counts).tolist()
+        mean, ci = mean_confidence_interval(expanded)
+        return mean, ci, _percentile(expanded, 0.5), _percentile(expanded, 0.95)
+    mean = float(np.dot(values, counts) / total)
+    variance = float(np.dot(counts, (values - mean) ** 2) / (total - 1))
+    ci = 1.9600 * float(np.sqrt(variance / total))
+    cumulative = np.cumsum(counts)
+
+    def percentile(fraction: float) -> float:
+        position = fraction * (total - 1)
+        low = int(position)
+        weight = position - low
+        low_value = float(values[np.searchsorted(cumulative, low + 1)])
+        high_value = float(
+            values[np.searchsorted(cumulative, min(low + 1, total - 1) + 1)]
+        )
+        return low_value * (1 - weight) + high_value * weight
+
+    return mean, ci, percentile(0.5), percentile(0.95)
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Verbatim twin of ``repro.metrics.analysis._percentile``."""
+    if not sorted_values:
+        return float("nan")
+    position = fraction * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    weight = position - low
+    return sorted_values[low] * (1 - weight) + sorted_values[high] * weight
+
+
+def summary_from_outcomes(
+    outcomes: "List[MessageOutcome]",
+    n: int,
+    round_ms: float,
+    payload_bytes: int = 256,
+    top_fraction: float = 0.05,
+) -> RunSummary:
+    """A :class:`RunSummary` straight from slot histograms.
+
+    ``top_link_share`` is computed when link tracking was on for every
+    message and reported as NaN otherwise (at scale, per-link dicts are
+    deliberately not collected).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    messages = len(outcomes)
+    deliveries = 0
+    msg_sent = 0
+    ihave_sent = 0
+    iwant_sent = 0
+    slot_histogram: Dict[int, int] = {}
+    links: Optional[Dict[Tuple[int, int], int]] = {}
+    for outcome in outcomes:
+        deliveries += outcome.delivered_count
+        msg_sent += outcome.msg_sent
+        ihave_sent += outcome.ihave_sent
+        iwant_sent += outcome.iwant_sent
+        # Latencies exclude the origin's instantaneous local delivery.
+        delivered = outcome.deliver_slot >= 0
+        delivered[outcome.origin] = False
+        slots, counts = np.unique(
+            outcome.deliver_slot[delivered], return_counts=True
+        )
+        for slot, count in zip(slots.tolist(), counts.tolist()):
+            slot_histogram[slot] = slot_histogram.get(slot, 0) + count
+        if links is not None and outcome.link_counts is not None:
+            for link, count in outcome.link_counts.items():
+                links[link] = links.get(link, 0) + count
+        else:
+            links = None
+    mean, ci, median, p95 = _slot_latency_stats(slot_histogram, round_ms)
+    per_node_messages = messages * n
+    control = ihave_sent + iwant_sent
+    total_bytes = msg_sent * payload_packet_size(payload_bytes) + (
+        control * control_packet_size()
+    )
+    return RunSummary(
+        messages=messages,
+        expected_receivers=n,
+        deliveries=deliveries,
+        delivery_ratio=(deliveries / per_node_messages) if messages else 0.0,
+        mean_latency_ms=mean,
+        latency_ci_ms=ci,
+        median_latency_ms=median,
+        p95_latency_ms=p95,
+        payload_transmissions=msg_sent,
+        payload_per_delivery=(msg_sent / deliveries) if deliveries else 0.0,
+        payload_per_message_per_node=(
+            (msg_sent / per_node_messages) if messages else 0.0
+        ),
+        top_link_share=(
+            link_concentration(links, top_fraction)
+            if links is not None
+            else float("nan")
+        ),
+        control_packets=control,
+        total_bytes=total_bytes,
+    )

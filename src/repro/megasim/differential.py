@@ -1,0 +1,247 @@
+"""Differential harness: the event kernel as megasim's ground truth.
+
+In the *slot-exact regime* the event kernel degenerates to a
+synchronous-round machine and the two backends must agree **exactly**:
+
+- uniform one-way latency ``L`` (every hop takes exactly one slot),
+- no NIC serialization (``bandwidth_bytes_per_ms=None``), no loss, no
+  jitter,
+- oracle peer sampling (``overlay=None``) over datagrams
+  (``use_connections=False``),
+- fanout >= n - 1, so the sampler returns *all* other nodes without
+  consuming randomness,
+- a strategy whose eager test is deterministic (Flat(0), Flat(1), TTL,
+  Radius, Ranked, Hybrid -- not 0 < p < 1), with request delays that
+  are multiples of ``L`` other than exactly one slot (where the event
+  kernel's intra-slot ordering is ambiguous; see
+  :mod:`repro.megasim.rounds`).
+
+:func:`run_event_message` runs one message through the event kernel in
+that regime and extracts the same observables
+:class:`~repro.megasim.rounds.MessageOutcome` reports, with times
+converted to slots; the tests in ``tests/megasim/test_differential.py``
+then compare field by field.  Outside the regime (partial fanout,
+probabilistic strategies) the kernels draw from different RNG streams
+and only statistical agreement is claimed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.gossip.config import GossipConfig
+from repro.megasim.adapter import DenseTopology
+from repro.megasim.rounds import MessageOutcome, disseminate
+from repro.megasim.state import ROUND_DTYPE, SLOT_DTYPE
+from repro.megasim.strategies import compile_strategy
+from repro.metrics.recorder import MetricsRecorder
+from repro.network.fabric import FabricConfig
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.runtime.node import StrategyFactory
+from repro.scheduler.interfaces import DEFAULT_RETRY_PERIOD_MS, SchedulerConfig
+from repro.sim.rng import RandomStreams
+from repro.topology.geometry import Point
+from repro.topology.routing import ClientNetworkModel
+
+#: Numerical slack when converting event-kernel times to integer slots.
+_SLOT_EPSILON = 1e-6
+
+
+@dataclass
+class EventOutcome:
+    """One event-kernel message, measured in megasim's vocabulary."""
+
+    origin: int
+    deliver_slot: NDArray[np.int32]
+    carried_round: NDArray[np.int32]
+    payload_sent: NDArray[np.int64]
+    payload_received: NDArray[np.int64]
+    msg_sent: int
+    ihave_sent: int
+    iwant_sent: int
+    link_counts: Dict[Tuple[int, int], int]
+
+    @property
+    def delivered_count(self) -> int:
+        return int(np.count_nonzero(self.deliver_slot >= 0))
+
+    def receipt_round_histogram(self) -> Dict[int, int]:
+        delivered = self.carried_round[self.deliver_slot >= 0]
+        if delivered.size == 0:
+            return {}
+        counts = np.bincount(delivered)
+        return {int(r): int(c) for r, c in enumerate(counts) if c > 0}
+
+
+def slot_exact_config(
+    fanout: int,
+    rounds: int,
+    retry_period_ms: float = DEFAULT_RETRY_PERIOD_MS,
+) -> ClusterConfig:
+    """The event-kernel configuration of the slot-exact regime."""
+    return ClusterConfig(
+        gossip=GossipConfig(fanout=fanout, rounds=rounds),
+        scheduler=SchedulerConfig(retry_period_ms=retry_period_ms),
+        fabric=FabricConfig(bandwidth_bytes_per_ms=None),
+        overlay=None,
+        use_connections=False,
+    )
+
+
+def plane_model(
+    n: int, seed: int = 0, side: float = 100.0, latency_ms: float = 50.0
+) -> ClientNetworkModel:
+    """Uniform-latency model with random plane positions.
+
+    The environment of the Radius/Hybrid *distance*-metric differential:
+    hop timing stays slot-exact while the geometry is non-trivial.
+    """
+    rng = random.Random(
+        RandomStreams(seed).derive_seed("megasim.differential.plane")
+    )
+    positions = [
+        Point(rng.uniform(0.0, side), rng.uniform(0.0, side)) for _ in range(n)
+    ]
+    latency = [
+        [0.0 if i == j else latency_ms for j in range(n)] for i in range(n)
+    ]
+    hops = [[0 if i == j else 1 for j in range(n)] for i in range(n)]
+    return ClientNetworkModel(latency, hops, positions)
+
+
+def run_event_message(
+    model: ClientNetworkModel,
+    factory: StrategyFactory,
+    origin: int,
+    fanout: int,
+    rounds: int,
+    retry_period_ms: float = DEFAULT_RETRY_PERIOD_MS,
+    seed: int = 0,
+) -> EventOutcome:
+    """One message through the event kernel in the slot-exact regime.
+
+    The cluster is *not* started (no periodic agents), the message is
+    multicast at t=0, and the simulation drains completely; every
+    delivery time must land on a whole slot or the model was not
+    actually uniform.
+    """
+    n = model.size
+    slot_ms = model.latency(0, 1) if n > 1 else 1.0
+    recorder = MetricsRecorder()
+    cluster = Cluster(
+        model,
+        factory,
+        config=slot_exact_config(fanout, rounds, retry_period_ms),
+        seed=seed,
+    )
+    cluster.fabric.set_observer(recorder)
+    cluster.set_multicast_hook(recorder.on_multicast)
+    cluster.set_deliver(
+        lambda node, message_id, payload: recorder.on_app_deliver(
+            node, message_id, cluster.sim.now
+        )
+    )
+    message_id = cluster.multicast(origin, payload="payload")
+    cluster.run_until_idle()
+
+    deliver_slot = np.full(n, -1, SLOT_DTYPE)
+    for node, when in recorder.deliveries[message_id].items():
+        slots = when / slot_ms
+        nearest = round(slots)
+        if abs(slots - nearest) > _SLOT_EPSILON:
+            raise ValueError(
+                f"delivery at {when} ms is not slot-aligned (slot {slot_ms} ms)"
+            )
+        deliver_slot[node] = nearest
+
+    carried_round = np.full(n, -1, ROUND_DTYPE)
+    for node_id, node in enumerate(cluster.nodes):
+        counts = node.gossip.receipt_rounds
+        if not counts:
+            continue
+        if sum(counts.values()) != 1:
+            raise ValueError(
+                f"node {node_id} delivered {sum(counts.values())} times"
+            )
+        (carried_round[node_id],) = counts.keys()
+
+    payload_sent = np.zeros(n, np.int64)
+    for node_id, count in recorder.node_payload_sent.items():
+        payload_sent[node_id] = count
+    payload_received = np.zeros(n, np.int64)
+    for node_id, count in recorder.node_payload_received.items():
+        payload_received[node_id] = count
+
+    return EventOutcome(
+        origin=origin,
+        deliver_slot=deliver_slot,
+        carried_round=carried_round,
+        payload_sent=payload_sent,
+        payload_received=payload_received,
+        msg_sent=int(recorder.sent_packets["MSG"]),
+        ihave_sent=int(recorder.sent_packets["IHAVE"]),
+        iwant_sent=int(recorder.sent_packets["IWANT"]),
+        link_counts={
+            link: int(count)
+            for link, count in recorder.link_payload_counts.items()
+        },
+    )
+
+
+def run_vector_message(
+    model: ClientNetworkModel,
+    factory: StrategyFactory,
+    origin: int,
+    fanout: int,
+    rounds: int,
+    retry_period_ms: float = DEFAULT_RETRY_PERIOD_MS,
+    seed: int = 0,
+    track_links: bool = False,
+) -> MessageOutcome:
+    """The megasim half of the differential: same model, same factory."""
+    topology = DenseTopology(model)
+    strategy = compile_strategy(
+        factory, topology, retry_period_ms=retry_period_ms
+    )
+    rng = np.random.default_rng(
+        RandomStreams(seed).derive_seed("megasim.message.0")
+    )
+    return disseminate(
+        topology,
+        strategy,
+        origin,
+        fanout,
+        rounds,
+        rng,
+        track_links=track_links,
+    )
+
+
+def exact_pair(
+    model: ClientNetworkModel,
+    factory: StrategyFactory,
+    origin: int,
+    rounds: int,
+    retry_period_ms: float = DEFAULT_RETRY_PERIOD_MS,
+) -> Tuple[EventOutcome, MessageOutcome]:
+    """Both backends on the same message in the slot-exact regime
+    (fanout pinned to n - 1)."""
+    fanout = max(1, model.size - 1)
+    event = run_event_message(
+        model, factory, origin, fanout, rounds, retry_period_ms
+    )
+    vector = run_vector_message(
+        model,
+        factory,
+        origin,
+        fanout,
+        rounds,
+        retry_period_ms,
+        track_links=True,
+    )
+    return event, vector

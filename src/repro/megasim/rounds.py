@@ -1,0 +1,426 @@
+"""The vectorized epidemic round kernel.
+
+One call to :func:`disseminate` runs a single message's epidemic to
+completion over ``n`` nodes in synchronous *slots*, each slot one
+network latency long.  Everything a slot does is a whole-array
+operation: deliveries resolve via a first-occurrence reduction, the
+strategy classifies all (sender, target) pairs at once, and IHAVE/IWANT
+bookkeeping lives in the :class:`~repro.megasim.state.MessageState`
+arrays instead of per-node timer objects.
+
+Equivalence with the event kernel (uniform latency ``L``, no NIC
+serialization, no loss/jitter, oracle sampling): every packet sent in
+slot ``t`` arrives in slot ``t + 1``, so the event kernel *is* this
+slot machine.  The ordering rules below are derived from the event
+queue's FIFO tie-break at equal timestamps:
+
+- Same-slot MSG arrivals race; the first processed wins and defines the
+  carried round.  Eager arrivals are processed before pull responses
+  (the only regime where the two can tie is round-ambiguous anyway --
+  see DESIGN.md section 10).
+- A zero-delay first request is scheduled *during* arrival processing
+  (``sim.schedule(0, ...)``), so it fires after every same-slot arrival:
+  an eager delivery in the advert's slot cancels the request.
+- A positive-delay first request is a timer armed in an earlier slot,
+  so its event precedes the slot's arrivals: the IWANT still goes out
+  even when an eager copy lands in the very same slot (the pull answer
+  then arrives as a duplicate), and advertisements landing *in* the
+  fire slot are not yet known sources.  Delays of exactly one slot are
+  ambiguous in the event kernel (timer and arrivals are armed in the
+  same slot) and are avoided by exact-differential configurations.
+- Retries (the paper's ``T``) cannot fire in a loss-free run -- a pull
+  completes in 2 slots, ``T`` is 8 -- so the kernel schedules each
+  request at most once and treats the retry period as a lower bound
+  enforced by :class:`~repro.megasim.strategies.CompiledStrategy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.megasim.adapter import VectorTopology
+from repro.megasim.state import (
+    NODE_DTYPE,
+    REQUEST_FIRED,
+    REQUEST_NONE,
+    REQUEST_PENDING,
+    ROUND_DTYPE,
+    MessageState,
+)
+from repro.megasim.strategies import CompiledStrategy
+
+#: One batch of in-flight packets: aligned (src, dst, round) arrays.
+Batch = Tuple[NDArray[np.int32], NDArray[np.int32], NDArray[np.int32]]
+
+#: Cap on the all-pairs target expansion of oracle full-fanout sends;
+#: beyond this, use a partial fanout or view-based sampling.
+_FULL_FANOUT_LIMIT = 1 << 24
+
+
+@dataclass
+class MessageOutcome:
+    """Everything observable about one finished message."""
+
+    origin: int
+    deliver_slot: NDArray[np.int32]
+    carried_round: NDArray[np.int32]
+    payload_sent: NDArray[np.int64]
+    payload_received: NDArray[np.int64]
+    msg_sent: int
+    ihave_sent: int
+    iwant_sent: int
+    slots_elapsed: int
+    link_counts: Optional[Dict[Tuple[int, int], int]] = None
+
+    @property
+    def delivered_count(self) -> int:
+        return int(np.count_nonzero(self.deliver_slot >= 0))
+
+    def receipt_round_histogram(self) -> Dict[int, int]:
+        delivered = self.carried_round[self.deliver_slot >= 0]
+        if delivered.size == 0:
+            return {}
+        counts = np.bincount(delivered)
+        return {int(r): int(c) for r, c in enumerate(counts) if c > 0}
+
+
+@dataclass
+class _SlotQueues:
+    """Per-slot batch buffers, popped as the clock reaches each slot."""
+
+    eager: Dict[int, List[Batch]] = field(default_factory=dict)
+    pull: Dict[int, List[Batch]] = field(default_factory=dict)
+    advert: Dict[int, List[Batch]] = field(default_factory=dict)
+
+    def push(self, queue: Dict[int, List[Batch]], slot: int, batch: Batch) -> None:
+        if batch[0].size:
+            queue.setdefault(slot, []).append(batch)
+
+    def busy(self) -> bool:
+        return bool(self.eager or self.pull or self.advert)
+
+
+def sample_targets(
+    rng: np.random.Generator,
+    senders: NDArray[np.int32],
+    fanout: int,
+    n: int,
+    views: Optional[NDArray[np.int32]] = None,
+) -> Tuple[NDArray[np.int32], NDArray[np.int32]]:
+    """Gossip targets for every sender at once.
+
+    Returns aligned ``(src, dst)`` arrays of ``len(senders) * k`` pairs,
+    ``k = min(fanout, candidates)``.  Oracle mode (``views=None``)
+    samples uniformly among the other ``n - 1`` nodes without
+    replacement per sender -- full fanout returns everyone, mirroring
+    ``OraclePeerSampler``.  View mode samples within each sender's
+    static partial view row.
+    """
+    m = senders.shape[0]
+    if m == 0:
+        empty = np.empty(0, dtype=NODE_DTYPE)
+        return empty, empty.copy()
+    if views is not None:
+        degree = views.shape[1]
+        if fanout >= degree:
+            dst = views[senders].reshape(-1)
+            src = np.repeat(senders, degree)
+            return src.astype(NODE_DTYPE, copy=False), dst
+        cols = _sample_without_replacement(rng, m, fanout, degree)
+        dst = views[senders[:, None], cols].reshape(-1)
+        src = np.repeat(senders, fanout)
+        return src.astype(NODE_DTYPE, copy=False), dst
+    if fanout >= n - 1:
+        if m * (n - 1) > _FULL_FANOUT_LIMIT:
+            raise ValueError(
+                f"full fanout over {n} nodes with {m} senders expands to "
+                f"{m * (n - 1)} pairs; use a partial fanout or views"
+            )
+        others = np.arange(n - 1, dtype=NODE_DTYPE)
+        dst = np.broadcast_to(others, (m, n - 1)).copy()
+        dst += dst >= senders[:, None]
+        src = np.repeat(senders, n - 1)
+        return src.astype(NODE_DTYPE, copy=False), dst.reshape(-1)
+    draws = _sample_without_replacement(rng, m, fanout, n - 1)
+    draws = draws.astype(NODE_DTYPE, copy=False)
+    draws += draws >= senders[:, None]
+    src = np.repeat(senders, fanout)
+    return src.astype(NODE_DTYPE, copy=False), draws.reshape(-1)
+
+
+def _sample_without_replacement(
+    rng: np.random.Generator, rows: int, k: int, population: int
+) -> NDArray[np.int64]:
+    """``(rows, k)`` draws from ``range(population)``, distinct per row.
+
+    Rejection sampling: draw, detect within-row duplicates via a sorted
+    copy, redraw only the offending rows.  Conditioning on distinctness
+    keeps the per-row distribution uniform over k-subsets; for gossip
+    regimes (k well below the population) a handful of rounds suffice.
+    """
+    if k > population:
+        raise ValueError(f"cannot draw {k} distinct from {population}")
+    draws = rng.integers(0, population, size=(rows, k), dtype=np.int64)
+    if k == 1:
+        return draws
+    while True:
+        ordered = np.sort(draws, axis=1)
+        bad = (ordered[:, 1:] == ordered[:, :-1]).any(axis=1)
+        if not bad.any():
+            return draws
+        draws[bad] = rng.integers(
+            0, population, size=(int(bad.sum()), k), dtype=np.int64
+        )
+
+
+def disseminate(
+    topology: VectorTopology,
+    strategy: CompiledStrategy,
+    origin: int,
+    fanout: int,
+    rounds: int,
+    rng: np.random.Generator,
+    views: Optional[NDArray[np.int32]] = None,
+    track_links: bool = False,
+) -> MessageOutcome:
+    """Run one message's epidemic to completion; see the module docstring
+    for the slot-ordering contract."""
+    n = topology.size
+    if not 0 <= origin < n:
+        raise ValueError(f"origin {origin} out of range for {n} nodes")
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    state = MessageState(n)
+    queues = _SlotQueues()
+    links: Optional[Dict[Tuple[int, int], int]] = {} if track_links else None
+    msg_sent = 0
+    ihave_sent = 0
+    iwant_sent = 0
+    delay = strategy.first_delay_rounds
+
+    # Slot 0: the origin delivers its own multicast at round 0.
+    state.deliver_slot[origin] = 0
+    state.carried_round[origin] = 0
+    newly = np.array([origin], dtype=NODE_DTYPE)
+
+    t = 0
+    while True:
+        # -- 1. MSG arrivals: first copy per node wins (t > 0) ----------
+        if t > 0:
+            newly = _process_arrivals(state, queues, t)
+
+        # -- 2/3. request firing vs advert processing: a positive-delay
+        # timer precedes the slot's arrivals-and-adverts (armed in an
+        # earlier slot), a zero-delay request is armed by the adverts
+        # themselves and fires after everything else in the slot.
+        if delay > 0:
+            fired = _fire_requests(state, t, delay)
+            _process_adverts(state, strategy, queues, t, delay)
+        else:
+            _process_adverts(state, strategy, queues, t, delay)
+            fired = _fire_requests(state, t, delay)
+        if fired.size:
+            iwant_sent += int(fired.size)
+            msg_sent += int(fired.size)
+            pull_src = state.chosen_src[fired]
+            np.add.at(state.payload_sent, pull_src, 1)
+            if links is not None:
+                _count_links(links, pull_src, fired)
+            queues.push(
+                queues.pull,
+                t + 2,
+                (pull_src.copy(), fired, state.chosen_round[fired].copy()),
+            )
+
+        # -- 4. forwards from nodes that delivered this slot ------------
+        if newly.size:
+            carried = state.carried_round[newly]
+            senders = newly[carried < rounds]
+            if senders.size:
+                src, dst = sample_targets(rng, senders, fanout, n, views)
+                rnd = (state.carried_round[src] + 1).astype(ROUND_DTYPE)
+                eager = strategy.evaluator.eager_mask(src, dst, rnd, rng)
+                eager_src, eager_dst = src[eager], dst[eager]
+                lazy = ~eager
+                lazy_src, lazy_dst = src[lazy], dst[lazy]
+                msg_sent += int(eager_src.size)
+                ihave_sent += int(lazy_src.size)
+                np.add.at(state.payload_sent, eager_src, 1)
+                if links is not None:
+                    _count_links(links, eager_src, eager_dst)
+                queues.push(
+                    queues.eager, t + 1, (eager_src, eager_dst, rnd[eager])
+                )
+                queues.push(
+                    queues.advert, t + 1, (lazy_src, lazy_dst, rnd[lazy])
+                )
+
+        if not queues.busy() and not _requests_due_after(state, t):
+            break
+        t += 1
+
+    return MessageOutcome(
+        origin=origin,
+        deliver_slot=state.deliver_slot,
+        carried_round=state.carried_round,
+        payload_sent=state.payload_sent,
+        payload_received=state.payload_received,
+        msg_sent=msg_sent,
+        ihave_sent=ihave_sent,
+        iwant_sent=iwant_sent,
+        slots_elapsed=t,
+        link_counts=links,
+    )
+
+
+def _process_arrivals(
+    state: MessageState, queues: _SlotQueues, t: int
+) -> NDArray[np.int32]:
+    """Apply this slot's MSG batches; returns the newly delivered nodes
+    in ascending id order."""
+    batches = queues.eager.pop(t, []) + queues.pull.pop(t, [])
+    if not batches:
+        return np.empty(0, dtype=NODE_DTYPE)
+    dst = np.concatenate([b[1] for b in batches])
+    rnd = np.concatenate([b[2] for b in batches])
+    np.add.at(state.payload_received, dst, 1)
+    fresh = state.received_slot[dst] == -1
+    dst, rnd = dst[fresh], rnd[fresh]
+    if dst.size == 0:
+        return np.empty(0, dtype=NODE_DTYPE)
+    # np.unique returns the first occurrence per value: with batches
+    # concatenated in processing order, that is the event kernel's
+    # first-arrival-wins rule.
+    winners, first = np.unique(dst, return_index=True)
+    state.received_slot[winners] = t
+    # The origin already delivered locally; its first MSG arrival is a
+    # scheduler-layer duplicate and changes nothing at the gossip layer.
+    undelivered = state.deliver_slot[winners] == -1
+    winners, first = winners[undelivered], first[undelivered]
+    state.deliver_slot[winners] = t
+    state.carried_round[winners] = rnd[first]
+    return winners.astype(NODE_DTYPE, copy=False)
+
+
+def _process_adverts(
+    state: MessageState,
+    strategy: CompiledStrategy,
+    queues: _SlotQueues,
+    t: int,
+    delay: int,
+) -> None:
+    """Apply this slot's IHAVE batches to the request schedule."""
+    batches = queues.advert.pop(t, [])
+    if not batches:
+        return
+    src = np.concatenate([b[0] for b in batches])
+    dst = np.concatenate([b[1] for b in batches])
+    rnd = np.concatenate([b[2] for b in batches])
+    # Adverts are ignored once a MSG packet has arrived (the scheduler's
+    # ``received`` check -- NOT gossip delivery: the origin is still
+    # advertisable); adverts to nodes whose request already fired only
+    # matter to retries, which cannot fire in a loss-free run.
+    live = (state.received_slot[dst] == -1) & (
+        state.request_state[dst] != REQUEST_FIRED
+    )
+    src, dst, rnd = src[live], dst[live], rnd[live]
+    if dst.size == 0:
+        return
+    if strategy.nearest_source:
+        metric = state.chosen_metric  # alias for brevity
+        values = _requester_metric(strategy, dst, src)
+        # Order by (dst, metric, arrival) so the first row per dst is
+        # the earliest-arriving minimal-metric source -- what
+        # ``min(sources, key=monitor.metric)`` picks.
+        order = np.lexsort((np.arange(dst.size), values, dst))
+        dst_o, src_o = dst[order], src[order]
+        rnd_o, val_o = rnd[order], values[order]
+        uniq, first = np.unique(dst_o, return_index=True)
+        best_src, best_rnd, best_val = src_o[first], rnd_o[first], val_o[first]
+        fresh = state.request_state[uniq] == REQUEST_NONE
+        register = uniq[fresh]
+        state.request_state[register] = REQUEST_PENDING
+        state.request_due[register] = t + delay
+        state.chosen_src[register] = best_src[fresh]
+        state.chosen_round[register] = best_rnd[fresh]
+        metric[register] = best_val[fresh]
+        pending = uniq[~fresh]
+        if pending.size:
+            better = best_val[~fresh] < metric[pending]
+            update = pending[better]
+            state.chosen_src[update] = best_src[~fresh][better]
+            state.chosen_round[update] = best_rnd[~fresh][better]
+            metric[update] = best_val[~fresh][better]
+        return
+    # FIFO discipline: the first advertiser ever seen is the source.
+    uniq, first = np.unique(dst, return_index=True)
+    fresh = state.request_state[uniq] == REQUEST_NONE
+    register = uniq[fresh]
+    state.request_state[register] = REQUEST_PENDING
+    state.request_due[register] = t + delay
+    state.chosen_src[register] = src[first][fresh]
+    state.chosen_round[register] = rnd[first][fresh]
+
+
+def _requester_metric(
+    strategy: CompiledStrategy,
+    requester: NDArray[np.int32],
+    source: NDArray[np.int32],
+) -> NDArray[np.float64]:
+    """The requester's monitor metric about each advertising source."""
+    evaluator = strategy.evaluator
+    topology = getattr(evaluator, "topology", None)
+    if topology is None:  # pragma: no cover - nearest implies a monitor
+        raise ValueError("nearest-source discipline needs a metric topology")
+    return topology.metric(strategy.metric_kind, requester, source)
+
+
+def _fire_requests(
+    state: MessageState, t: int, delay: int
+) -> NDArray[np.int32]:
+    """Send the IWANTs due this slot; returns the requesting nodes.
+
+    Zero-delay requests fire only if no MSG packet has arrived by the
+    end of the slot's arrivals; positive-delay timers precede the
+    arrivals, so a node whose first MSG lands *in this very slot* still
+    requests (and will receive the answer as a duplicate) -- both
+    straight from the event queue's FIFO ordering.
+    """
+    due = (state.request_state == REQUEST_PENDING) & (state.request_due == t)
+    if not due.any():
+        return np.empty(0, dtype=NODE_DTYPE)
+    if delay > 0:
+        live = due & (
+            (state.received_slot == -1) | (state.received_slot == t)
+        )
+    else:
+        live = due & (state.received_slot == -1)
+    cancelled = due & ~live
+    state.request_state[cancelled] = REQUEST_NONE
+    state.request_due[due] = -1
+    fired = np.flatnonzero(live).astype(NODE_DTYPE)
+    state.request_state[fired] = REQUEST_FIRED
+    return fired
+
+
+def _requests_due_after(state: MessageState, t: int) -> bool:
+    """True while pending requests still wait for a future slot."""
+    pending = state.request_state == REQUEST_PENDING
+    return bool(np.any(pending & (state.request_due > t)))
+
+
+def _count_links(
+    links: Dict[Tuple[int, int], int],
+    src: NDArray[np.int32],
+    dst: NDArray[np.int32],
+) -> None:
+    pairs = np.stack([src, dst], axis=1)
+    uniq, counts = np.unique(pairs, axis=0, return_counts=True)
+    for (a, b), count in zip(uniq.tolist(), counts.tolist()):
+        links[(int(a), int(b))] = links.get((int(a), int(b)), 0) + int(count)

@@ -1,0 +1,206 @@
+"""Multi-message megasim runs: spec in, summary-ready result out.
+
+A :class:`MegasimSpec` is the vector backend's analogue of
+:class:`~repro.experiments.runner.ExperimentSpec`: one frozen, picklable
+description of a run.  Messages are mutually independent epidemics, so
+:func:`run_megasim` fans them out through
+:func:`repro.experiments.parallel.run_tasks` -- every message's RNG seed
+is derived *before* dispatch from the spec's root seed
+(``megasim.message.{index}``), so results are identical for any worker
+count, in submission order, exactly like the event-kernel engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.experiments.parallel import run_tasks
+from repro.gossip.config import recommended_rounds
+from repro.megasim.adapter import (
+    PlaneTopology,
+    UniformTopology,
+    VectorTopology,
+    build_views,
+    summary_from_outcomes,
+    to_recorder,
+)
+from repro.megasim.rounds import MessageOutcome, disseminate
+from repro.megasim.strategies import CompiledStrategy, compile_strategy
+from repro.metrics.analysis import RunSummary
+from repro.metrics.recorder import MetricsRecorder
+from repro.runtime.node import StrategyFactory
+from repro.scheduler.interfaces import DEFAULT_RETRY_PERIOD_MS
+from repro.sim.rng import RandomStreams
+
+TOPOLOGY_PLANE = "plane"
+TOPOLOGY_UNIFORM = "uniform"
+
+
+@dataclass(frozen=True)
+class MegasimSpec:
+    """One vectorized run, fully determined by its fields.
+
+    ``rounds=None`` sizes the cap via
+    :func:`repro.gossip.config.recommended_rounds`, matching what
+    ``GossipConfig.for_population`` gives the event kernel.
+    ``origins=None`` draws one origin per message from the derived
+    ``megasim.origins`` stream.
+    """
+
+    strategy_factory: StrategyFactory
+    nodes: int
+    fanout: int = 11
+    rounds: Optional[int] = None
+    messages: int = 1
+    seed: int = 0
+    round_ms: float = 50.0
+    retry_period_ms: float = DEFAULT_RETRY_PERIOD_MS
+    topology: str = TOPOLOGY_PLANE
+    view_degree: Optional[int] = None
+    origins: Optional[Tuple[int, ...]] = None
+    payload_bytes: int = 256
+    track_links: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.messages < 1:
+            raise ValueError(f"messages must be >= 1, got {self.messages}")
+        if self.fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {self.fanout}")
+        if self.topology not in (TOPOLOGY_PLANE, TOPOLOGY_UNIFORM):
+            raise ValueError(
+                f"topology must be {TOPOLOGY_PLANE!r} or {TOPOLOGY_UNIFORM!r},"
+                f" got {self.topology!r}"
+            )
+        if self.origins is not None:
+            if len(self.origins) != self.messages:
+                raise ValueError(
+                    f"{len(self.origins)} origins for {self.messages} messages"
+                )
+            for origin in self.origins:
+                if not 0 <= origin < self.nodes:
+                    raise ValueError(f"origin {origin} out of range")
+
+    @property
+    def effective_rounds(self) -> int:
+        if self.rounds is not None:
+            return self.rounds
+        return recommended_rounds(self.nodes, self.fanout)
+
+
+@dataclass
+class MegasimResult:
+    """Finished run plus the context needed to interpret it."""
+
+    spec: MegasimSpec
+    outcomes: List[MessageOutcome]
+    round_ms: float
+    summary: RunSummary = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.summary = summary_from_outcomes(
+            self.outcomes,
+            self.spec.nodes,
+            self.round_ms,
+            payload_bytes=self.spec.payload_bytes,
+        )
+
+    def to_recorder(self) -> MetricsRecorder:
+        """Replay into a recorder (small-N analysis only)."""
+        return to_recorder(
+            self.outcomes, self.round_ms, payload_bytes=self.spec.payload_bytes
+        )
+
+
+def build_topology(spec: MegasimSpec) -> VectorTopology:
+    """The spec's synthetic environment (positions seeded by the spec)."""
+    if spec.topology == TOPOLOGY_UNIFORM:
+        return UniformTopology(spec.nodes, latency_ms=spec.round_ms)
+    return PlaneTopology(spec.nodes, seed=spec.seed, side=2.0 * spec.round_ms)
+
+
+def message_origins(spec: MegasimSpec) -> Tuple[int, ...]:
+    """Per-message origin nodes, explicit or derived from the seed."""
+    if spec.origins is not None:
+        return spec.origins
+    rng = np.random.default_rng(
+        RandomStreams(spec.seed).derive_seed("megasim.origins")
+    )
+    return tuple(
+        int(o) for o in rng.integers(0, spec.nodes, size=spec.messages)
+    )
+
+
+def message_seed(spec: MegasimSpec, index: int) -> int:
+    """The derived RNG seed of message ``index`` -- fixed before dispatch."""
+    return RandomStreams(spec.seed).derive_seed(f"megasim.message.{index}")
+
+
+@dataclass(frozen=True)
+class _MessageTask:
+    """One message's dissemination as a picklable zero-arg callable."""
+
+    spec: MegasimSpec
+    topology: VectorTopology
+    strategy: CompiledStrategy
+    views: Optional[NDArray[np.int32]]
+    origin: int
+    index: int
+
+    def __call__(self) -> MessageOutcome:
+        rng = np.random.default_rng(message_seed(self.spec, self.index))
+        return disseminate(
+            self.topology,
+            self.strategy,
+            self.origin,
+            self.spec.fanout,
+            self.spec.effective_rounds,
+            rng,
+            views=self.views,
+            track_links=self.spec.track_links,
+        )
+
+
+def run_megasim(
+    spec: MegasimSpec,
+    workers: Optional[int] = 1,
+    topology: Optional[VectorTopology] = None,
+) -> MegasimResult:
+    """Run every message of ``spec``; results are worker-count invariant.
+
+    Pass ``topology`` to run against an explicit environment (the
+    differential harness hands in a :class:`DenseTopology` wrapping the
+    event kernel's model) instead of the spec's synthetic one.
+    """
+    if topology is None:
+        topology = build_topology(spec)
+    if topology.size != spec.nodes:
+        raise ValueError(
+            f"topology has {topology.size} nodes, spec wants {spec.nodes}"
+        )
+    strategy = compile_strategy(
+        spec.strategy_factory,
+        topology,
+        retry_period_ms=spec.retry_period_ms,
+    )
+    views: Optional[NDArray[np.int32]] = None
+    if spec.view_degree is not None:
+        views = build_views(
+            spec.nodes,
+            spec.view_degree,
+            np.random.default_rng(
+                RandomStreams(spec.seed).derive_seed("megasim.views")
+            ),
+        )
+    origins = message_origins(spec)
+    tasks = [
+        _MessageTask(spec, topology, strategy, views, origin, index)
+        for index, origin in enumerate(origins)
+    ]
+    outcomes: List[MessageOutcome] = run_tasks(tasks, workers=workers)
+    return MegasimResult(spec=spec, outcomes=outcomes, round_ms=topology.round_ms)

@@ -1,0 +1,93 @@
+"""Struct-of-arrays state for one message's dissemination.
+
+The event kernel keeps per-node protocol objects; at 10^5-10^6 nodes
+that is gigabytes of Python objects and pointer chasing.  Here one
+message's entire protocol state is a handful of flat numpy arrays
+indexed by node id -- the struct-of-arrays layout of round-synchronous
+epidemic simulators (cf. D'Angelo & Ferretti's batch dissemination
+runs).  Node ids are ``int32`` (2^31 nodes is far above the target
+scale) and slots/rounds are ``int32`` too, so the resident state for a
+million nodes is ~40 MB per in-flight message.
+
+Request-schedule state mirrors :mod:`repro.scheduler.requests` under
+slot semantics: a node's pending IWANT is a due slot plus the source it
+will ask (``chosen_*``), updated as advertisements accumulate under the
+strategy's source-selection discipline (FIFO or nearest).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import NDArray
+
+NODE_DTYPE = np.int32
+SLOT_DTYPE = np.int32
+ROUND_DTYPE = np.int32
+
+#: ``request_state`` values: no request registered / registered and
+#: waiting for its due slot / request fired (IWANT sent).
+REQUEST_NONE = 0
+REQUEST_PENDING = 1
+REQUEST_FIRED = 2
+
+
+class MessageState:
+    """All per-node state of one message, as parallel arrays."""
+
+    __slots__ = (
+        "n",
+        "deliver_slot",
+        "received_slot",
+        "carried_round",
+        "payload_sent",
+        "payload_received",
+        "request_state",
+        "request_due",
+        "chosen_src",
+        "chosen_round",
+        "chosen_metric",
+    )
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"need at least one node, got {n}")
+        self.n = n
+        #: Slot at which the node first delivered the payload; -1 = never.
+        self.deliver_slot: NDArray[np.int32] = np.full(n, -1, SLOT_DTYPE)
+        #: Slot of the first *MSG packet* arrival -- the scheduler-layer
+        #: ``received`` set.  Distinct from delivery: the origin delivers
+        #: its own multicast locally without ever receiving a MSG, so
+        #: (matching the event kernel) advertisements can still talk it
+        #: into requesting -- and duplicating -- its own payload.
+        self.received_slot: NDArray[np.int32] = np.full(n, -1, SLOT_DTYPE)
+        #: Gossip round carried by the delivering MSG (0 for the origin).
+        self.carried_round: NDArray[np.int32] = np.full(n, -1, ROUND_DTYPE)
+        #: MSG packets sent by each node (eager forwards + IWANT answers).
+        self.payload_sent: NDArray[np.int64] = np.zeros(n, np.int64)
+        #: MSG packets received by each node (deliveries + duplicates).
+        self.payload_received: NDArray[np.int64] = np.zeros(n, np.int64)
+        #: Request-schedule state machine (REQUEST_* above).
+        self.request_state: NDArray[np.int8] = np.zeros(n, np.int8)
+        #: Slot at which the pending IWANT fires; -1 when none.
+        self.request_due: NDArray[np.int32] = np.full(n, -1, SLOT_DTYPE)
+        #: Source the pending request will ask, its cached round, and its
+        #: monitor metric (for the nearest-source discipline).
+        self.chosen_src: NDArray[np.int32] = np.full(n, -1, NODE_DTYPE)
+        self.chosen_round: NDArray[np.int32] = np.full(n, -1, ROUND_DTYPE)
+        self.chosen_metric: NDArray[np.float64] = np.full(n, np.inf, np.float64)
+
+    @property
+    def delivered_count(self) -> int:
+        """Nodes that delivered the payload (origin included)."""
+        return int(np.count_nonzero(self.deliver_slot >= 0))
+
+    def receipt_round_histogram(self) -> "dict[int, int]":
+        """``{round: deliveries}`` over delivered nodes, like the event
+        kernel's per-node ``receipt_rounds`` counters summed."""
+        delivered = self.carried_round[self.deliver_slot >= 0]
+        if delivered.size == 0:
+            return {}
+        counts = np.bincount(delivered)
+        return {
+            int(r): int(c) for r, c in enumerate(counts) if c > 0
+        }

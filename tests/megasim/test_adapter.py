@@ -1,0 +1,194 @@
+"""Adapters: topologies in, recorder-schema metrics out."""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.experiments.scenarios import flat_factory, ttl_factory
+from repro.megasim.adapter import (
+    METRIC_DISTANCE,
+    METRIC_LATENCY,
+    DenseTopology,
+    PlaneTopology,
+    UniformTopology,
+    build_views,
+    summary_from_outcomes,
+    to_recorder,
+)
+from repro.megasim.runner import MegasimSpec, run_megasim
+from repro.metrics.analysis import summarize
+from repro.monitors.ranking import OracleRanking
+from repro.topology.routing import ClientNetworkModel
+from repro.topology.simple import complete_topology
+
+
+def ids(*values: int) -> "np.ndarray":
+    return np.asarray(values, dtype=np.int32)
+
+
+class TestDenseTopology:
+    def test_uniform_model_is_slot_exact(self) -> None:
+        topology = DenseTopology(ClientNetworkModel.uniform(10, 50.0))
+        assert topology.is_slot_exact
+        assert topology.round_ms == 50.0
+
+    def test_jittered_model_uses_mean_latency(self) -> None:
+        model = complete_topology(10, latency_ms=40.0, jitter_ms=10.0, seed=1)
+        topology = DenseTopology(model)
+        assert not topology.is_slot_exact
+        assert topology.round_ms == pytest.approx(model.mean_latency())
+
+    def test_latency_metric_reads_the_matrix(self) -> None:
+        model = ClientNetworkModel.uniform(6, 30.0)
+        topology = DenseTopology(model)
+        metric = topology.metric(METRIC_LATENCY, ids(0, 1), ids(2, 1))
+        assert metric.tolist() == [30.0, 0.0]
+
+    def test_distance_metric_matches_model(self) -> None:
+        model = ClientNetworkModel.uniform(6, 30.0)
+        topology = DenseTopology(model)
+        metric = topology.metric(METRIC_DISTANCE, ids(0, 2), ids(3, 5))
+        assert metric.tolist() == [
+            model.distance(0, 3), model.distance(2, 5),
+        ]
+
+    def test_best_mask_matches_oracle_ranking(self) -> None:
+        model = complete_topology(20, latency_ms=40.0, jitter_ms=15.0, seed=4)
+        topology = DenseTopology(model)
+        mask = topology.best_mask(0.2)
+        assert set(np.flatnonzero(mask).tolist()) == set(
+            OracleRanking(model, 0.2).best_nodes
+        )
+        assert topology.best_mask(0.2) is mask  # cached
+
+    def test_unknown_metric_rejected(self) -> None:
+        topology = DenseTopology(ClientNetworkModel.uniform(4))
+        with pytest.raises(ValueError):
+            topology.metric("hops", ids(0), ids(1))
+
+
+class TestSyntheticTopologies:
+    def test_uniform_metric_and_best(self) -> None:
+        topology = UniformTopology(10, latency_ms=25.0)
+        assert topology.round_ms == 25.0
+        latency = topology.metric(METRIC_LATENCY, ids(1, 3), ids(1, 9))
+        assert latency.tolist() == [0.0, 25.0]
+        assert np.flatnonzero(topology.best_mask(0.2)).tolist() == [0, 1]
+
+    def test_plane_is_seed_deterministic(self) -> None:
+        a, b = PlaneTopology(50, seed=5), PlaneTopology(50, seed=5)
+        src, dst = ids(0, 10, 20), ids(30, 40, 49)
+        assert np.array_equal(
+            a.metric(METRIC_DISTANCE, src, dst),
+            b.metric(METRIC_DISTANCE, src, dst),
+        )
+        assert np.array_equal(a.best_mask(0.1), b.best_mask(0.1))
+        c = PlaneTopology(50, seed=6)
+        assert not np.array_equal(
+            a.metric(METRIC_DISTANCE, src, dst),
+            c.metric(METRIC_DISTANCE, src, dst),
+        )
+
+    def test_plane_latency_equals_distance(self) -> None:
+        topology = PlaneTopology(20, seed=0)
+        src, dst = ids(2, 4), ids(9, 11)
+        assert np.array_equal(
+            topology.metric(METRIC_LATENCY, src, dst),
+            topology.metric(METRIC_DISTANCE, src, dst),
+        )
+
+    def test_best_fraction_bounds(self) -> None:
+        with pytest.raises(ValueError):
+            UniformTopology(10).best_mask(0.0)
+        with pytest.raises(ValueError):
+            PlaneTopology(10).best_mask(1.5)
+
+    def test_build_views_shape_and_validity(self) -> None:
+        views = build_views(40, 7, np.random.default_rng(2))
+        assert views.shape == (40, 7)
+        for node in range(40):
+            row = views[node].tolist()
+            assert node not in row
+            assert len(set(row)) == 7
+            assert all(0 <= peer < 40 for peer in row)
+        with pytest.raises(ValueError):
+            build_views(5, 5, np.random.default_rng(0))
+
+
+class TestResultAdapters:
+    """summary_from_outcomes must agree with the recorder pipeline."""
+
+    @pytest.mark.parametrize(
+        "factory", [flat_factory(1.0), flat_factory(0.0), ttl_factory(2)],
+        ids=["eager", "lazy", "ttl"],
+    )
+    def test_summary_matches_recorder_summarize(self, factory) -> None:
+        spec = MegasimSpec(
+            strategy_factory=factory,
+            nodes=48,
+            fanout=47,
+            rounds=6,
+            messages=3,
+            seed=2,
+            topology="uniform",
+            track_links=True,
+        )
+        result = run_megasim(spec)
+        direct = result.summary
+        via_recorder = summarize(result.to_recorder(), expected_receivers=48)
+        assert direct == via_recorder
+
+    def test_recorder_carries_link_and_node_counters(self) -> None:
+        spec = MegasimSpec(
+            strategy_factory=flat_factory(1.0),
+            nodes=16,
+            fanout=15,
+            rounds=1,
+            messages=1,
+            seed=0,
+            topology="uniform",
+            origins=(0,),
+            track_links=True,
+        )
+        recorder = run_megasim(spec).to_recorder()
+        assert recorder.sent_packets["MSG"] == 15
+        assert recorder.node_payload_sent[0] == 15
+        assert sum(recorder.link_payload_counts.values()) == 15
+
+    def test_top_link_share_nan_without_tracking(self) -> None:
+        spec = MegasimSpec(
+            strategy_factory=flat_factory(1.0),
+            nodes=16,
+            fanout=15,
+            rounds=2,
+            messages=1,
+            seed=0,
+            topology="uniform",
+        )
+        summary = run_megasim(spec).summary
+        assert np.isnan(summary.top_link_share)
+
+    def test_large_run_histogram_stats_match_exact_path(self) -> None:
+        # Force the >4096-deliveries histogram branch and check it
+        # against the expanded exact computation on the same data.
+        from repro.megasim.adapter import _percentile, _slot_latency_stats
+        from repro.metrics.confidence import mean_confidence_interval
+
+        histogram = {1: 3000, 2: 1500, 3: 700, 5: 40}
+        mean, ci, median, p95 = _slot_latency_stats(histogram, 50.0)
+        expanded = sorted(
+            slot * 50.0 for slot, count in histogram.items()
+            for _ in range(count)
+        )
+        exact_mean, exact_ci = mean_confidence_interval(expanded)
+        assert mean == pytest.approx(exact_mean)
+        assert ci == pytest.approx(exact_ci)
+        assert median == pytest.approx(_percentile(expanded, 0.5))
+        assert p95 == pytest.approx(_percentile(expanded, 0.95))
+
+    def test_empty_outcomes(self) -> None:
+        summary = summary_from_outcomes([], n=10, round_ms=50.0)
+        assert summary.messages == 0
+        assert summary.deliveries == 0

@@ -1,0 +1,91 @@
+"""The ``python -m repro.megasim`` front door and the numpy gate."""
+
+from __future__ import annotations
+
+import importlib
+import json
+import sys
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.megasim.cli import build_factory, build_parser, main
+
+
+def test_default_run_prints_table(capsys) -> None:
+    code = main(["--nodes", "64", "--strategy", "eager", "--rounds", "4"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "delivery_ratio" in captured.out
+    assert "nodes_per_s" in captured.out
+
+
+def test_json_output_is_parseable(capsys) -> None:
+    code = main(
+        [
+            "--nodes", "64", "--strategy", "ttl", "--eager-rounds", "2",
+            "--messages", "2", "--topology", "uniform", "--json",
+        ]
+    )
+    assert code == 0
+    row = json.loads(capsys.readouterr().out)
+    assert row["nodes"] == 64
+    assert row["messages"] == 2
+    assert row["delivery_ratio"] == pytest.approx(1.0)
+    assert row["elapsed_s"] > 0
+
+
+def test_workers_flag_round_trips(capsys) -> None:
+    code = main(
+        [
+            "--nodes", "50", "--strategy", "lazy", "--messages", "2",
+            "--workers", "2", "--topology", "uniform", "--json",
+        ]
+    )
+    assert code == 0
+    assert json.loads(capsys.readouterr().out)["delivery_ratio"] == 1.0
+
+
+def test_view_degree_flag(capsys) -> None:
+    code = main(
+        [
+            "--nodes", "80", "--strategy", "flat", "--fanout", "5",
+            "--view-degree", "10", "--json",
+        ]
+    )
+    assert code == 0
+    assert json.loads(capsys.readouterr().out)["delivery_ratio"] > 0.9
+
+
+def test_every_strategy_choice_builds_a_factory() -> None:
+    parser = build_parser()
+    for name in ("eager", "lazy", "flat", "ttl", "radius", "ranked", "hybrid"):
+        args = parser.parse_args(["--strategy", name])
+        assert build_factory(args) is not None
+
+
+def test_import_error_names_the_extra(monkeypatch) -> None:
+    """Without numpy, importing repro.megasim must point at
+    ``pip install 'repro[vector]'`` instead of a bare ModuleNotFoundError."""
+    saved = {
+        name: module
+        for name, module in sys.modules.items()
+        if name == "numpy"
+        or name.startswith("numpy.")
+        or name == "repro.megasim"
+        or name.startswith("repro.megasim.")
+    }
+    for name in saved:
+        monkeypatch.delitem(sys.modules, name, raising=False)
+    monkeypatch.setitem(sys.modules, "numpy", None)
+    try:
+        with pytest.raises(ImportError, match=r"repro\[vector\]"):
+            importlib.import_module("repro.megasim")
+    finally:
+        monkeypatch.delitem(sys.modules, "numpy", raising=False)
+        for name in [
+            m for m in sys.modules if m.startswith("repro.megasim")
+        ]:
+            del sys.modules[name]
+        sys.modules.update(saved)

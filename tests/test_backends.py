@@ -1,0 +1,117 @@
+"""The SimulationBackend seam: both kernels behind one interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import (
+    BACKEND_NAMES,
+    EventKernelBackend,
+    SimulationBackend,
+    VectorBackend,
+    get_backend,
+)
+from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.experiments.scenarios import flat_factory
+from repro.experiments.workload import TrafficConfig
+from repro.failures.injection import FailurePlan
+from repro.gossip.config import GossipConfig
+from repro.runtime.cluster import ClusterConfig
+from repro.topology.routing import ClientNetworkModel
+
+MODEL = ClientNetworkModel.uniform(24, latency_ms=50.0)
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    defaults = dict(
+        strategy_factory=flat_factory(1.0),
+        cluster=ClusterConfig(gossip=GossipConfig(fanout=23, rounds=6)),
+        traffic=TrafficConfig(messages=3, mean_interval_ms=200.0),
+        warmup_ms=500.0,
+        drain_ms=500.0,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+def test_get_backend_resolution() -> None:
+    assert isinstance(get_backend("event"), EventKernelBackend)
+    assert isinstance(get_backend("vector"), VectorBackend)
+    with pytest.raises(ValueError, match="unknown backend"):
+        get_backend("quantum")
+    assert BACKEND_NAMES == ("event", "vector")
+
+
+def test_both_backends_satisfy_the_protocol() -> None:
+    assert isinstance(EventKernelBackend(), SimulationBackend)
+    assert isinstance(VectorBackend(), SimulationBackend)
+
+
+def test_event_backend_is_run_experiment() -> None:
+    spec = tiny_spec()
+    via_backend = EventKernelBackend().run(MODEL, spec)
+    direct = run_experiment(MODEL, spec)
+    assert via_backend.summary == direct.summary
+
+
+def test_vector_backend_returns_experiment_result_schema() -> None:
+    pytest.importorskip("numpy")
+    result = VectorBackend().run(MODEL, tiny_spec())
+    assert result.summary.messages == 3
+    assert result.summary.delivery_ratio == pytest.approx(1.0)
+    assert result.alive == list(range(24))
+    assert result.failed == []
+    assert result.mean_receipt_round > 0
+    # The recorder replay carries the same totals as the summary.
+    assert (
+        result.recorder.sent_packets["MSG"]
+        == result.summary.payload_transmissions
+    )
+
+
+def test_vector_backend_rejects_failure_specs() -> None:
+    pytest.importorskip("numpy")
+    spec = tiny_spec(failure=FailurePlan(fraction=0.2))
+    with pytest.raises(ValueError, match="does not support spec.failure"):
+        VectorBackend().run(MODEL, spec)
+
+
+def test_vector_backend_uses_gossip_and_traffic_parameters() -> None:
+    pytest.importorskip("numpy")
+    capped = VectorBackend().run(
+        MODEL,
+        tiny_spec(cluster=ClusterConfig(gossip=GossipConfig(fanout=23, rounds=1))),
+    )
+    free = VectorBackend().run(MODEL, tiny_spec())
+    assert (
+        capped.summary.payload_transmissions
+        < free.summary.payload_transmissions
+    )
+
+
+def test_cli_backend_flag_routes_to_vector(capsys) -> None:
+    pytest.importorskip("numpy")
+    from repro.cli import main
+
+    code = main(
+        [
+            "run", "flat", "--probability", "1.0", "--clients", "24",
+            "--messages", "2", "--backend", "vector",
+        ]
+    )
+    assert code == 0
+    assert "flat" in capsys.readouterr().out
+
+
+def test_cli_vector_rejects_replications(capsys) -> None:
+    from repro.cli import main
+
+    code = main(
+        [
+            "run", "eager", "--clients", "16", "--messages", "1",
+            "--backend", "vector", "--replications", "2",
+        ]
+    )
+    assert code == 2
+    assert "event backend" in capsys.readouterr().err
