@@ -2,10 +2,11 @@
 
 Times :func:`repro.megasim.runner.run_megasim` on the synthetic plane
 topology at 100k nodes -- the scale the event kernel cannot reach -- for
-an eager and a mostly-lazy strategy, and records throughput
-(node-deliveries per second) plus peak resident set size to
-``results/BENCH_MEGASIM.json``.  Full coverage is asserted, so the
-recorded rate is for *completed* epidemics, not truncated ones.
+an eager strategy, a mostly-lazy strategy, and the same lazy strategy
+under 5% uniform packet loss (the recovery machinery at full scale),
+and records throughput (node-deliveries per second) plus peak resident
+set size to ``results/BENCH_MEGASIM.json``.  Full coverage is asserted,
+so the recorded rate is for *completed* epidemics, not truncated ones.
 
 Wall-clock use is confined to benchmarks (see the determinism linter's
 allowlist); simulated results themselves are timing-free.
@@ -25,6 +26,7 @@ np = pytest.importorskip("numpy")
 
 from benchmarks.conftest import run_once
 from repro.experiments.scenarios import flat_factory, ttl_factory
+from repro.failures.gray import GrayFailurePlan
 from repro.megasim.runner import MegasimSpec, run_megasim
 
 RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_MEGASIM.json"
@@ -34,13 +36,18 @@ RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_MEGASIM.js
 NODES = 100_000
 SEED = 3
 
+#: Uniform 5% per-packet payload loss: the lossy row proves the retry
+#: and pull-recovery machinery runs at full scale, not just at test-N.
+LOSS_5 = GrayFailurePlan(lossy_link_fraction=1.0, link_loss_probability=0.05)
+
 STRATEGIES = {
-    "flat_eager": flat_factory(1.0),
-    "ttl_2": ttl_factory(2),
+    "flat_eager": (flat_factory(1.0), None),
+    "ttl_2": (ttl_factory(2), None),
+    "ttl_2_loss5": (ttl_factory(2), LOSS_5),
 }
 
 
-def _spec(factory) -> MegasimSpec:
+def _spec(factory, gray) -> MegasimSpec:
     return MegasimSpec(
         strategy_factory=factory,
         nodes=NODES,
@@ -48,6 +55,7 @@ def _spec(factory) -> MegasimSpec:
         messages=1,
         seed=SEED,
         topology="plane",
+        gray=gray,
     )
 
 
@@ -58,22 +66,25 @@ def _peak_rss_mb() -> float:
 
 def _measure() -> Dict[str, object]:
     rows: Dict[str, object] = {}
-    for name, factory in STRATEGIES.items():
+    for name, (factory, gray) in STRATEGIES.items():
         started = time.perf_counter()
-        result = run_megasim(_spec(factory))
+        result = run_megasim(_spec(factory, gray))
         elapsed = time.perf_counter() - started
         summary = result.summary
         # recommended_rounds gives near-atomic coverage, not a proof:
         # at 10^5 nodes a handful of coupon-collector stragglers can
         # miss the cap (the paper's own delivery figures are ~100%, not
-        # exactly 100%).
-        assert summary.delivery_ratio >= 0.9999, f"{name} did not converge"
+        # exactly 100%).  The lossy row gets a hair more slack: 5%
+        # packet loss leaves a few more stragglers to the pull path.
+        floor = 0.999 if gray is not None else 0.9999
+        assert summary.delivery_ratio >= floor, f"{name} did not converge"
         rows[name] = {
             "elapsed_s": round(elapsed, 4),
             "nodes_per_s": round(NODES / elapsed),
             "delivery_ratio": summary.delivery_ratio,
             "payload_per_delivery": round(summary.payload_per_delivery, 3),
             "control_packets": summary.control_packets,
+            "retries": result.retries,
             "mean_latency_slots": round(
                 summary.mean_latency_ms / result.round_ms, 3
             ),
@@ -85,8 +96,10 @@ def test_megasim_scale_tier_recorded(benchmark) -> None:
     """100k-node epidemics complete, and their throughput is recorded."""
     rows = run_once(benchmark, _measure)
     for row in rows.values():
-        assert row["delivery_ratio"] >= 0.9999
+        assert row["delivery_ratio"] >= 0.999
         assert row["nodes_per_s"] > 0
+    # The lossy row must actually exercise recovery at 100k nodes.
+    assert rows["ttl_2_loss5"]["retries"] > 0
     RESULTS.parent.mkdir(parents=True, exist_ok=True)
     RESULTS.write_text(
         json.dumps(

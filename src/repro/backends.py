@@ -29,10 +29,15 @@ from repro.experiments.runner import (
 from repro.topology.cache import ModelLike, resolve_model
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (keeps numpy lazy)
-    from repro.megasim.runner import MegasimResult
+    from repro.megasim.runner import MegasimResult, MegasimSpec
 
 #: Names accepted by :func:`get_backend`, in CLI-choice order.
 BACKEND_NAMES = ("event", "vector")
+
+#: Largest population for which a dense O(n^2) latency model is built.
+#: Above this, ``repro run --backend vector`` switches to the megasim
+#: synthetic plane topology (:meth:`VectorBackend.run_synthetic`).
+DENSE_MODEL_LIMIT = 4096
 
 
 @runtime_checkable
@@ -60,9 +65,12 @@ class VectorBackend:
     Translates the spec's gossip/traffic/scheduler parameters into a
     :class:`~repro.megasim.runner.MegasimSpec` and runs against a
     :class:`~repro.megasim.adapter.DenseTopology` wrapping the resolved
-    model.  Warmup and the failure/churn machinery are event-kernel
-    concepts with no slot-synchronous counterpart; specs using them are
-    rejected rather than silently approximated.
+    model.  Crash-stop failure plans and the lossy-link subset of gray
+    failures are compiled into vector form
+    (:func:`repro.megasim.adapter.compile_faults`); continuous churn,
+    node classes, and the remaining gray impairments (slow, flappy,
+    extra-latency, duplicating) have no slot-synchronous counterpart and
+    are rejected *by name* rather than silently approximated.
     """
 
     name = "vector"
@@ -70,41 +78,86 @@ class VectorBackend:
     def __init__(self, workers: Optional[int] = 1) -> None:
         self.workers = workers
 
-    def run(self, model: ModelLike, spec: ExperimentSpec) -> ExperimentResult:
-        for feature in ("failure", "gray", "churn", "node_classes"):
+    def check_spec(self, spec: ExperimentSpec) -> None:
+        """Raise ``ValueError`` naming every unsupported spec feature."""
+        for feature in ("churn", "node_classes"):
             if getattr(spec, feature) is not None:
                 raise ValueError(
                     f"the vector backend does not support spec.{feature}; "
                     "use --backend event"
                 )
+        if spec.gray is not None:
+            from repro.megasim.adapter import check_gray_supported
+
+            check_gray_supported(spec.gray)
+
+    def run(self, model: ModelLike, spec: ExperimentSpec) -> ExperimentResult:
+        self.check_spec(spec)
         from repro.megasim.adapter import DenseTopology
-        from repro.megasim.runner import MegasimSpec, run_megasim
+        from repro.megasim.runner import run_megasim
 
         resolved = resolve_model(model)
-        mega = MegasimSpec(
+        mega = self._translate(spec, resolved.size, track_links=True)
+        result = run_megasim(
+            mega, workers=self.workers, topology=DenseTopology(resolved)
+        )
+        return self._wrap(result, with_recorder=True)
+
+    def run_synthetic(self, nodes: int, spec: ExperimentSpec) -> ExperimentResult:
+        """Run against the megasim synthetic plane topology.
+
+        The route ``repro run --backend vector`` takes above
+        :data:`DENSE_MODEL_LIMIT`, where a dense all-pairs latency model
+        is infeasible.  No recorder replay is built at this scale --
+        ``result.recorder`` comes back empty; the summary carries every
+        reported metric.
+        """
+        self.check_spec(spec)
+        from repro.megasim.runner import run_megasim
+
+        mega = self._translate(spec, nodes, track_links=False)
+        result = run_megasim(mega, workers=self.workers)
+        return self._wrap(result, with_recorder=False)
+
+    def _translate(
+        self, spec: ExperimentSpec, nodes: int, track_links: bool
+    ) -> "MegasimSpec":
+        from repro.megasim.runner import MegasimSpec
+
+        return MegasimSpec(
             strategy_factory=spec.strategy_factory,
-            nodes=resolved.size,
+            nodes=nodes,
             fanout=spec.cluster.gossip.fanout,
             rounds=spec.cluster.gossip.rounds,
             messages=spec.traffic.messages,
             seed=spec.seed,
             retry_period_ms=spec.cluster.scheduler.retry_period_ms,
             payload_bytes=spec.cluster.gossip.payload_bytes,
-            track_links=True,
+            track_links=track_links,
+            failure=spec.failure,
+            gray=spec.gray,
         )
-        result = run_megasim(
-            mega, workers=self.workers, topology=DenseTopology(resolved)
-        )
-        alive: List[int] = list(range(resolved.size))
+
+    def _wrap(
+        self, result: "MegasimResult", with_recorder: bool
+    ) -> ExperimentResult:
+        from repro.metrics.recorder import MetricsRecorder
+
+        failed = set(result.failed)
+        alive: List[int] = [
+            node for node in range(result.spec.nodes) if node not in failed
+        ]
         return ExperimentResult(
             summary=result.summary,
-            recorder=result.to_recorder(),
+            recorder=(
+                result.to_recorder() if with_recorder else MetricsRecorder()
+            ),
             alive=alive,
-            failed=[],
+            failed=result.failed,
             class_rates={},
             class_latencies={},
             mean_receipt_round=_mean_receipt_round(result),
-            recovery={},
+            recovery={"retries": result.retries},
         )
 
 

@@ -16,7 +16,12 @@ import inspect
 import sys
 from typing import List, Optional
 
-from repro.backends import BACKEND_NAMES, get_backend
+from repro.backends import (
+    BACKEND_NAMES,
+    DENSE_MODEL_LIMIT,
+    VectorBackend,
+    get_backend,
+)
 from repro.experiments.parallel import resolve_workers
 from repro.experiments.replication import run_replicated
 
@@ -111,6 +116,16 @@ def build_parser() -> argparse.ArgumentParser:
         "or the vectorized round kernel (requires the repro[vector] "
         "extra; oracle strategies only)",
     )
+    run.add_argument(
+        "--loss", type=float, default=0.0,
+        help="per-packet Bernoulli loss probability on every link "
+        "(GrayFailurePlan; supported by both backends)",
+    )
+    run.add_argument(
+        "--fail-fraction", type=float, default=0.0,
+        help="fraction of nodes crash-stopped (FailurePlan; supported "
+        "by both backends)",
+    )
     _add_scale_arguments(run)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure/table")
@@ -158,17 +173,52 @@ def command_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_faults(args: argparse.Namespace):
+    """The (failure, gray) plans implied by --fail-fraction/--loss."""
+    from repro.failures.gray import GrayFailurePlan
+    from repro.failures.injection import FailurePlan
+
+    failure = (
+        FailurePlan(fraction=args.fail_fraction)
+        if args.fail_fraction > 0.0
+        else None
+    )
+    gray = (
+        GrayFailurePlan(lossy_link_fraction=1.0, link_loss_probability=args.loss)
+        if args.loss > 0.0
+        else None
+    )
+    return failure, gray
+
+
 def command_run(args: argparse.Namespace) -> int:
     """``repro run``: one experiment (or a replicated study), one row."""
     scale = _scale(args)
-    model = build_model(scale)
+    failure, gray = _run_faults(args)
     spec = ExperimentSpec(
         strategy_factory=STRATEGIES[args.strategy](args),
         cluster=ClusterConfig(gossip=GossipConfig.for_population(scale.clients)),
         traffic=scale.traffic(),
         warmup_ms=scale.warmup_ms,
         seed=scale.seed,
+        failure=failure,
+        gray=gray,
     )
+    if args.backend == "vector" and scale.clients > DENSE_MODEL_LIMIT:
+        # A dense all-pairs latency model is infeasible at this scale;
+        # run the megasim synthetic plane topology directly.
+        if args.replications > 1:
+            print(
+                "--replications is only supported by the event backend",
+                file=sys.stderr,
+            )
+            return 2
+        vector = VectorBackend(workers=args.workers)
+        result = vector.run_synthetic(scale.clients, spec)
+        row = dict(strategy=args.strategy, **result.summary.row())
+        print(format_table([row]))
+        return 0
+    model = build_model(scale)
     if args.replications > 1:
         if args.backend != "event":
             print(

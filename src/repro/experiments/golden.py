@@ -15,7 +15,9 @@ compact digest of everything a run's determinism rests on:
   encoded so no formatting rounds them.
 
 Digests for the five canonical strategy configurations (Flat, TTL,
-Radius, Ranked, Hybrid) are pinned as JSON under ``tests/golden/``; the
+Radius, Ranked, Hybrid) plus two lossy fault configurations
+(``flat_lossy``, ``ttl_lossy``) are pinned as JSON under
+``tests/golden/``; the
 regression test recomputes them serially and through the process pool
 and compares all three.  Regenerate intentionally with
 ``pytest tests/experiments/test_golden_traces.py --update-golden``.
@@ -37,6 +39,8 @@ from repro.experiments.scenarios import (
     ttl_factory,
 )
 from repro.experiments.workload import TrafficConfig
+from repro.failures.gray import GrayFailurePlan
+from repro.failures.injection import FailurePlan
 from repro.gossip.config import GossipConfig
 from repro.runtime.cluster import ClusterConfig
 from repro.topology.routing import ClientNetworkModel
@@ -59,6 +63,31 @@ CANONICAL_STRATEGIES = {
     "hybrid": lambda: hybrid_factory(CANONICAL_PARAMS),
 }
 
+#: Canonical *lossy* configurations: ``(strategy, failure, gray)``.
+#: These pin the fault path -- victim selection, per-packet loss coins,
+#: and the retry/recovery machinery they trigger -- with the same exact
+#: digests as the healthy runs.  ``flat_lossy`` exercises fractional
+#: Bernoulli loss on every link; ``ttl_lossy`` combines crash-stop
+#: victims with fully-dead links, forcing the pull path to route around
+#: both.
+CANONICAL_FAULTS = {
+    "flat_lossy": (
+        "flat",
+        None,
+        GrayFailurePlan(lossy_link_fraction=1.0, link_loss_probability=0.1),
+    ),
+    "ttl_lossy": (
+        "ttl",
+        FailurePlan(fraction=0.125),
+        GrayFailurePlan(lossy_link_fraction=0.25, link_loss_probability=1.0),
+    ),
+}
+
+#: Every canonical configuration name, healthy and lossy.
+CANONICAL_CONFIGS = tuple(
+    sorted(CANONICAL_STRATEGIES) + sorted(CANONICAL_FAULTS)
+)
+
 
 def canonical_model() -> ClientNetworkModel:
     """The tiny, fully deterministic model golden traces run on."""
@@ -67,18 +96,25 @@ def canonical_model() -> ClientNetworkModel:
 
 def canonical_spec(name: str) -> ExperimentSpec:
     """The pinned experiment spec for one canonical configuration."""
-    if name not in CANONICAL_STRATEGIES:
+    failure = gray = None
+    if name in CANONICAL_FAULTS:
+        strategy, failure, gray = CANONICAL_FAULTS[name]
+    elif name in CANONICAL_STRATEGIES:
+        strategy = name
+    else:
         raise ValueError(
             f"unknown canonical config {name!r}; "
-            f"choose from {sorted(CANONICAL_STRATEGIES)}"
+            f"choose from {list(CANONICAL_CONFIGS)}"
         )
     return ExperimentSpec(
-        strategy_factory=CANONICAL_STRATEGIES[name](),
+        strategy_factory=CANONICAL_STRATEGIES[strategy](),
         cluster=ClusterConfig(gossip=GossipConfig.for_population(16)),
         traffic=TrafficConfig(messages=10, mean_interval_ms=120.0),
         warmup_ms=1_500.0,
         drain_ms=2_500.0,
         seed=23,
+        failure=failure,
+        gray=gray,
     )
 
 

@@ -10,6 +10,14 @@ the exact `OracleRanking` tie-breaking); :class:`UniformTopology` and
 :class:`PlaneTopology` are synthetic environments that never materialize
 an O(n^2) matrix and therefore scale to 10^6 nodes.
 
+Faults: :func:`compile_faults` lowers the supported subset of the event
+kernel's :class:`~repro.failures.injection.FailurePlan` /
+:class:`~repro.failures.gray.GrayFailurePlan` into a
+:class:`CompiledFaults` -- a crashed-node mask, always-drop link keys
+and a Bernoulli loss probability -- replaying the injectors' seeded
+victim selection exactly so both backends impair the same nodes and
+links for a given seed.
+
 Outbound: :func:`to_recorder` replays a finished run into a
 :class:`~repro.metrics.recorder.MetricsRecorder` (small N -- it builds
 per-message Python dicts), and :func:`summary_from_outcomes` computes a
@@ -20,11 +28,15 @@ report in the recorder's metric schema without recorder-sized state.
 
 from __future__ import annotations
 
+import random
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 from numpy.typing import NDArray
 
+from repro.failures.gray import GrayFailurePlan
+from repro.failures.injection import FailurePlan
 from repro.metrics.analysis import RunSummary
 from repro.metrics.confidence import mean_confidence_interval
 from repro.metrics.recorder import MetricsRecorder
@@ -262,6 +274,242 @@ def build_views(
     return views
 
 
+# -- fault compilation --------------------------------------------------------
+
+
+class UnsupportedFaultError(ValueError):
+    """Raised for fault-plan features the vector kernel cannot express."""
+
+
+#: :class:`GrayFailurePlan` fields the vector kernel has no slot-level
+#: model for; each is rejected by name (not a blanket refusal).
+UNSUPPORTED_GRAY_FIELDS = (
+    "slow_fraction",
+    "flappy_fraction",
+    "link_extra_latency_ms",
+    "link_duplicate_probability",
+)
+
+#: Largest population for which a *fractional* ``lossy_link_fraction``
+#: may enumerate all n*(n-1) directed links, replicating the event
+#: injector's sampling.  Above it, use ``lossy_link_fraction=1.0``
+#: (every link lossy -- no enumeration needed) to model uniform loss.
+LINK_ENUMERATION_LIMIT = 2048
+
+
+def check_gray_supported(plan: GrayFailurePlan) -> None:
+    """Reject gray-plan fields the vector kernel cannot model, by name."""
+    for name in UNSUPPORTED_GRAY_FIELDS:
+        if getattr(plan, name):
+            raise UnsupportedFaultError(
+                f"the vector backend does not support spec.gray.{name}; "
+                "use --backend event"
+            )
+
+
+@dataclass(frozen=True)
+class CompiledFaults:
+    """A :class:`FailurePlan`/:class:`GrayFailurePlan` subset, vector form.
+
+    ``crashed`` marks crash-stop nodes (the paper's firewalled failures):
+    they originate nothing, and every packet addressed to -- or sent
+    by -- them is dropped after the sender's ``on_send`` accounting,
+    matching :class:`~repro.network.fabric.NetworkFabric`'s ordering.
+    ``drop_keys`` are the always-drop directed links (full link loss,
+    exact-differential safe: the event kernel's gray draw at
+    ``loss_probability=1.0`` is outcome-deterministic).  Fractional loss
+    is Bernoulli per packet from a *dedicated* loss stream
+    (``megasim.loss.{i}``), over ``lossy_keys`` or -- when ``None`` with
+    ``loss_probability > 0`` -- over every link.
+    """
+
+    n: int
+    crashed: Optional[NDArray[np.bool_]] = None
+    drop_keys: Optional[NDArray[np.int64]] = None
+    lossy_keys: Optional[NDArray[np.int64]] = None
+    loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError(
+                f"loss_probability out of range: {self.loss_probability}"
+            )
+
+    @property
+    def needs_rng(self) -> bool:
+        """True when packet delivery consumes Bernoulli draws."""
+        return self.loss_probability > 0.0
+
+    def failed_nodes(self) -> List[int]:
+        if self.crashed is None:
+            return []
+        return [int(node) for node in np.flatnonzero(self.crashed)]
+
+    def _link_member(
+        self,
+        keys: NDArray[np.int64],
+        src: NDArray[np.int32],
+        dst: NDArray[np.int32],
+    ) -> NDArray[np.bool_]:
+        """Membership of each (src, dst) pair in a sorted key table."""
+        pair = src.astype(np.int64) * self.n + dst.astype(np.int64)
+        index = np.searchsorted(keys, pair)
+        index[index >= keys.shape[0]] = keys.shape[0] - 1
+        return np.asarray(keys[index] == pair, dtype=bool)
+
+    def deliver_mask(
+        self,
+        src: NDArray[np.int32],
+        dst: NDArray[np.int32],
+        loss_rng: Optional[np.random.Generator],
+    ) -> NDArray[np.bool_]:
+        """Which packets of an aligned (src, dst) batch actually arrive.
+
+        Checks mirror the fabric: crashed endpoints first (silenced TX
+        drops at the source, silenced RX at delivery -- both after
+        ``on_send`` counting, so callers count sends *before* filtering),
+        then always-drop links, then per-packet Bernoulli loss drawn from
+        ``loss_rng`` for the packets still standing.
+        """
+        keep = np.ones(src.shape[0], dtype=bool)
+        if self.crashed is not None:
+            keep &= ~self.crashed[src]
+            keep &= ~self.crashed[dst]
+        if self.drop_keys is not None and self.drop_keys.size:
+            keep &= ~self._link_member(self.drop_keys, src, dst)
+        if self.loss_probability > 0.0:
+            if loss_rng is None:
+                raise ValueError(
+                    "CompiledFaults with loss_probability > 0 needs a "
+                    "dedicated loss RNG (megasim.loss.{index} stream)"
+                )
+            candidates = keep.copy()
+            if self.lossy_keys is not None:
+                candidates &= self._link_member(self.lossy_keys, src, dst)
+            rows = np.flatnonzero(candidates)
+            if rows.size:
+                dropped = loss_rng.random(rows.size) < self.loss_probability
+                keep[rows[dropped]] = False
+        return keep
+
+
+def _replay_crash_victims(n: int, seed: int, plan: FailurePlan) -> List[int]:
+    """The exact victim set :class:`~repro.failures.injection.FailureInjector`
+    would silence on a cluster built with ``seed``.
+
+    The cluster's injector draws from the ``failures`` stream of the
+    simulator's :class:`~repro.sim.rng.RandomStreams`; re-deriving that
+    stream here reproduces its ``random.sample`` calls bit for bit, so
+    the differential harness sees the same victims on both backends.
+    """
+    count = int(round(plan.fraction * n))
+    if count == 0:
+        return []
+    rng = random.Random(RandomStreams(seed).derive_seed("failures"))
+    population = list(range(n))
+    if plan.target == "random":
+        return list(rng.sample(population, count))
+    assert plan.ranked_nodes is not None  # enforced by FailurePlan
+    population_set = set(population)
+    ranked = [node for node in plan.ranked_nodes if node in population_set]
+    victims = list(ranked[:count])
+    if len(victims) < count:
+        victim_set = set(victims)
+        rest = [node for node in population if node not in victim_set]
+        victims += rng.sample(rest, count - len(victims))
+    return victims
+
+
+def _replay_lossy_links(
+    n: int, seed: int, plan: GrayFailurePlan
+) -> List[Tuple[int, int]]:
+    """The exact directed-link set the event-kernel gray injector
+    impairs, re-derived from the ``failures.gray`` stream (the slow-node
+    sample that precedes it in the injector is empty here -- compiled
+    plans reject ``slow_fraction`` -- so the link draw is the stream's
+    first)."""
+    rng = random.Random(RandomStreams(seed).derive_seed("failures.gray"))
+    links = [(a, b) for a in range(n) for b in range(n) if a != b]
+    count = int(round(plan.lossy_link_fraction * len(links)))
+    if count == 0:
+        return []
+    return sorted(rng.sample(links, count))
+
+
+def _link_keys(n: int, links: List[Tuple[int, int]]) -> NDArray[np.int64]:
+    keys = np.asarray(
+        [a * n + b for a, b in links], dtype=np.int64
+    )
+    keys.sort()
+    return keys
+
+
+def compile_faults(
+    n: int,
+    seed: int,
+    failure: Optional[FailurePlan] = None,
+    gray: Optional[GrayFailurePlan] = None,
+) -> Optional[CompiledFaults]:
+    """Compile the supported fault-plan subset for an ``n``-node run.
+
+    Returns ``None`` when both plans are absent or no-ops, so the
+    fault-free kernel path stays byte-identical to the pre-fault one.
+    Raises :class:`UnsupportedFaultError` (naming the field) for plan
+    features with no slot-synchronous counterpart, and for fractional
+    ``lossy_link_fraction`` above :data:`LINK_ENUMERATION_LIMIT` nodes
+    (which would need the O(n^2) link enumeration the scale tier exists
+    to avoid).
+    """
+    crashed: Optional[NDArray[np.bool_]] = None
+    if failure is not None:
+        victims = _replay_crash_victims(n, seed, failure)
+        if victims:
+            crashed = np.zeros(n, dtype=bool)
+            crashed[victims] = True
+
+    drop_keys: Optional[NDArray[np.int64]] = None
+    lossy_keys: Optional[NDArray[np.int64]] = None
+    loss_probability = 0.0
+    if gray is not None:
+        check_gray_supported(gray)
+        if gray.lossy_link_fraction > 0.0 and gray.link_loss_probability > 0.0:
+            if gray.lossy_link_fraction >= 1.0:
+                # Every directed link impaired: no enumeration needed,
+                # so this form scales to 10^5-10^6 nodes.
+                loss_probability = gray.link_loss_probability
+            else:
+                if n > LINK_ENUMERATION_LIMIT:
+                    raise UnsupportedFaultError(
+                        f"spec.gray.lossy_link_fraction < 1.0 enumerates "
+                        f"all n*(n-1) directed links and is limited to "
+                        f"{LINK_ENUMERATION_LIMIT} nodes (got {n}); use "
+                        "lossy_link_fraction=1.0 for uniform loss at scale"
+                    )
+                links = _replay_lossy_links(n, seed, gray)
+                if links:
+                    if gray.link_loss_probability >= 1.0:
+                        # Deterministic outcome: exact-differential safe.
+                        drop_keys = _link_keys(n, links)
+                    else:
+                        lossy_keys = _link_keys(n, links)
+                        loss_probability = gray.link_loss_probability
+
+    if (
+        crashed is None
+        and drop_keys is None
+        and lossy_keys is None
+        and loss_probability == 0.0
+    ):
+        return None
+    return CompiledFaults(
+        n=n,
+        crashed=crashed,
+        drop_keys=drop_keys,
+        lossy_keys=lossy_keys,
+        loss_probability=loss_probability,
+    )
+
+
 # -- results adapters --------------------------------------------------------
 
 
@@ -363,15 +611,24 @@ def summary_from_outcomes(
     round_ms: float,
     payload_bytes: int = 256,
     top_fraction: float = 0.05,
+    expected_receivers: Optional[int] = None,
 ) -> RunSummary:
     """A :class:`RunSummary` straight from slot histograms.
 
     ``top_link_share`` is computed when link tracking was on for every
     message and reported as NaN otherwise (at scale, per-link dicts are
-    deliberately not collected).
+    deliberately not collected).  ``expected_receivers`` defaults to
+    ``n``; pass the alive population when crash faults are in play (the
+    event engine also normalizes delivery ratio by alive nodes).
     """
     if n < 1:
         raise ValueError("n must be >= 1")
+    if expected_receivers is None:
+        expected_receivers = n
+    if not 1 <= expected_receivers <= n:
+        raise ValueError(
+            f"expected_receivers must be in [1, {n}], got {expected_receivers}"
+        )
     messages = len(outcomes)
     deliveries = 0
     msg_sent = 0
@@ -398,14 +655,14 @@ def summary_from_outcomes(
         else:
             links = None
     mean, ci, median, p95 = _slot_latency_stats(slot_histogram, round_ms)
-    per_node_messages = messages * n
+    per_node_messages = messages * expected_receivers
     control = ihave_sent + iwant_sent
     total_bytes = msg_sent * payload_packet_size(payload_bytes) + (
         control * control_packet_size()
     )
     return RunSummary(
         messages=messages,
-        expected_receivers=n,
+        expected_receivers=expected_receivers,
         deliveries=deliveries,
         delivery_ratio=(deliveries / per_node_messages) if messages else 0.0,
         mean_latency_ms=mean,

@@ -24,6 +24,8 @@ from repro.experiments.scenarios import (
     ranked_factory,
     ttl_factory,
 )
+from repro.failures.gray import GrayFailurePlan
+from repro.failures.injection import FailurePlan
 from repro.megasim.runner import (
     TOPOLOGY_PLANE,
     TOPOLOGY_UNIFORM,
@@ -94,6 +96,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="gossip over static partial views instead of the oracle",
     )
     parser.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="uniform per-packet Bernoulli loss probability on every "
+        "link (exercises the IWANT retry machinery)",
+    )
+    parser.add_argument(
+        "--fail-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of nodes crash-stopped before the first message",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -119,13 +134,37 @@ def result_row(
         "p95_latency_ms": summary.p95_latency_ms,
         "payload_per_delivery": summary.payload_per_delivery,
         "control_packets": summary.control_packets,
+        "failed_nodes": len(result.failed),
+        "retries": result.retries,
         "elapsed_s": elapsed_s,
         "nodes_per_s": total_node_visits / elapsed_s if elapsed_s > 0 else 0.0,
     }
 
 
+def build_faults(
+    args: argparse.Namespace,
+) -> "tuple[Optional[FailurePlan], Optional[GrayFailurePlan]]":
+    """The (failure, gray) plans implied by --fail-fraction/--loss."""
+    if not 0.0 <= args.loss <= 1.0:
+        raise SystemExit(f"--loss out of range: {args.loss}")
+    failure = (
+        FailurePlan(fraction=args.fail_fraction)
+        if args.fail_fraction > 0.0
+        else None
+    )
+    gray = (
+        GrayFailurePlan(
+            lossy_link_fraction=1.0, link_loss_probability=args.loss
+        )
+        if args.loss > 0.0
+        else None
+    )
+    return failure, gray
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    failure, gray = build_faults(args)
     spec = MegasimSpec(
         strategy_factory=build_factory(args),
         nodes=args.nodes,
@@ -135,6 +174,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         topology=args.topology,
         view_degree=args.view_degree,
+        failure=failure,
+        gray=gray,
     )
     started = time.perf_counter()
     result = run_megasim(spec, workers=resolve_workers(args.workers))

@@ -23,19 +23,31 @@ converted to slots; the tests in ``tests/megasim/test_differential.py``
 then compare field by field.  Outside the regime (partial fanout,
 probabilistic strategies) the kernels draw from different RNG streams
 and only statistical agreement is claimed.
+
+Faults extend the regime rather than leaving it: both halves accept a
+``failure``/``gray`` plan, and the *outcome-deterministic* subset --
+crash-stop nodes (victims replayed bit-for-bit from the ``failures``
+stream) and fully-lossy directed links (``link_loss_probability=1.0``,
+links replayed from ``failures.gray``) -- keeps every observable exact,
+retries included, because no per-packet coin flip is ever consulted.
+Fractional loss probabilities draw Bernoulli coins from different
+streams in the two kernels and belong to the statistical tier
+(``tests/megasim/test_faults.py``).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 from numpy.typing import NDArray
 
+from repro.failures.gray import GrayFailureInjector, GrayFailurePlan
+from repro.failures.injection import FailureInjector, FailurePlan
 from repro.gossip.config import GossipConfig
-from repro.megasim.adapter import DenseTopology
+from repro.megasim.adapter import DenseTopology, compile_faults
 from repro.megasim.rounds import MessageOutcome, disseminate
 from repro.megasim.state import ROUND_DTYPE, SLOT_DTYPE
 from repro.megasim.strategies import compile_strategy
@@ -65,6 +77,8 @@ class EventOutcome:
     ihave_sent: int
     iwant_sent: int
     link_counts: Dict[Tuple[int, int], int]
+    #: Sum of every node's ``RequestQueue.retries_sent``.
+    retries: int = 0
 
     @property
     def delivered_count(self) -> int:
@@ -122,13 +136,16 @@ def run_event_message(
     rounds: int,
     retry_period_ms: float = DEFAULT_RETRY_PERIOD_MS,
     seed: int = 0,
+    failure: Optional[FailurePlan] = None,
+    gray: Optional[GrayFailurePlan] = None,
 ) -> EventOutcome:
     """One message through the event kernel in the slot-exact regime.
 
     The cluster is *not* started (no periodic agents), the message is
     multicast at t=0, and the simulation drains completely; every
     delivery time must land on a whole slot or the model was not
-    actually uniform.
+    actually uniform.  Faults are injected before the multicast, like
+    the experiment engine does (after warmup, before logging).
     """
     n = model.size
     slot_ms = model.latency(0, 1) if n > 1 else 1.0
@@ -139,6 +156,10 @@ def run_event_message(
         config=slot_exact_config(fanout, rounds, retry_period_ms),
         seed=seed,
     )
+    if failure is not None:
+        FailureInjector(cluster).apply(failure)
+    if gray is not None:
+        GrayFailureInjector(cluster).apply(gray)
     cluster.fabric.set_observer(recorder)
     cluster.set_multicast_hook(recorder.on_multicast)
     cluster.set_deliver(
@@ -190,6 +211,9 @@ def run_event_message(
             link: int(count)
             for link, count in recorder.link_payload_counts.items()
         },
+        retries=sum(
+            node.scheduler.requests.retries_sent for node in cluster.nodes
+        ),
     )
 
 
@@ -202,8 +226,16 @@ def run_vector_message(
     retry_period_ms: float = DEFAULT_RETRY_PERIOD_MS,
     seed: int = 0,
     track_links: bool = False,
+    failure: Optional[FailurePlan] = None,
+    gray: Optional[GrayFailurePlan] = None,
 ) -> MessageOutcome:
-    """The megasim half of the differential: same model, same factory."""
+    """The megasim half of the differential: same model, same factory.
+
+    Fault plans are compiled against the same derived streams the event
+    kernel's injectors consume, so victim/link selection matches
+    bit-for-bit; Bernoulli loss (if any) draws from the dedicated
+    ``megasim.loss.0`` stream.
+    """
     topology = DenseTopology(model)
     strategy = compile_strategy(
         factory, topology, retry_period_ms=retry_period_ms
@@ -211,6 +243,12 @@ def run_vector_message(
     rng = np.random.default_rng(
         RandomStreams(seed).derive_seed("megasim.message.0")
     )
+    faults = compile_faults(model.size, seed, failure=failure, gray=gray)
+    loss_rng: Optional[np.random.Generator] = None
+    if faults is not None and faults.needs_rng:
+        loss_rng = np.random.default_rng(
+            RandomStreams(seed).derive_seed("megasim.loss.0")
+        )
     return disseminate(
         topology,
         strategy,
@@ -219,6 +257,8 @@ def run_vector_message(
         rounds,
         rng,
         track_links=track_links,
+        faults=faults,
+        loss_rng=loss_rng,
     )
 
 
@@ -228,12 +268,15 @@ def exact_pair(
     origin: int,
     rounds: int,
     retry_period_ms: float = DEFAULT_RETRY_PERIOD_MS,
+    failure: Optional[FailurePlan] = None,
+    gray: Optional[GrayFailurePlan] = None,
 ) -> Tuple[EventOutcome, MessageOutcome]:
     """Both backends on the same message in the slot-exact regime
-    (fanout pinned to n - 1)."""
+    (fanout pinned to n - 1, fault plans applied to both halves)."""
     fanout = max(1, model.size - 1)
     event = run_event_message(
-        model, factory, origin, fanout, rounds, retry_period_ms
+        model, factory, origin, fanout, rounds, retry_period_ms,
+        failure=failure, gray=gray,
     )
     vector = run_vector_message(
         model,
@@ -243,5 +286,7 @@ def exact_pair(
         rounds,
         retry_period_ms,
         track_links=True,
+        failure=failure,
+        gray=gray,
     )
     return event, vector

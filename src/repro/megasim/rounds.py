@@ -6,32 +6,52 @@ network latency long.  Everything a slot does is a whole-array
 operation: deliveries resolve via a first-occurrence reduction, the
 strategy classifies all (sender, target) pairs at once, and IHAVE/IWANT
 bookkeeping lives in the :class:`~repro.megasim.state.MessageState`
-arrays instead of per-node timer objects.
+arrays plus one shared :class:`~repro.megasim.state.AdvertLog` instead
+of per-node timer objects.
 
 Equivalence with the event kernel (uniform latency ``L``, no NIC
-serialization, no loss/jitter, oracle sampling): every packet sent in
-slot ``t`` arrives in slot ``t + 1``, so the event kernel *is* this
-slot machine.  The ordering rules below are derived from the event
-queue's FIFO tie-break at equal timestamps:
+serialization, no jitter, oracle sampling): every packet sent in slot
+``t`` arrives in slot ``t + 1``, so the event kernel *is* this slot
+machine.  The ordering rules below are derived from the event queue's
+FIFO tie-break at equal timestamps:
 
 - Same-slot MSG arrivals race; the first processed wins and defines the
-  carried round.  Eager arrivals are processed before pull responses
-  (the only regime where the two can tie is round-ambiguous anyway --
-  see DESIGN.md section 10).
-- A zero-delay first request is scheduled *during* arrival processing
-  (``sim.schedule(0, ...)``), so it fires after every same-slot arrival:
-  an eager delivery in the advert's slot cancels the request.
-- A positive-delay first request is a timer armed in an earlier slot,
-  so its event precedes the slot's arrivals: the IWANT still goes out
-  even when an eager copy lands in the very same slot (the pull answer
-  then arrives as a duplicate), and advertisements landing *in* the
-  fire slot are not yet known sources.  Delays of exactly one slot are
+  carried round.  Pull answers to *early*-fired IWANTs are processed
+  before eager arrivals and answers to *late*-fired ones after them,
+  mirroring where the IWANT sat in the previous slot's event queue
+  (see :class:`_SlotQueues`).
+- A timer armed in an *earlier* slot -- a positive-delay first request
+  or any retry (armed a full retry period back) -- precedes the due
+  slot's packet arrivals: the IWANT still goes out even when a copy
+  lands in the very same slot (the pull answer then arrives as a
+  duplicate), and advertisements landing *in* the fire slot are not yet
+  known sources.  First-request delays of exactly one slot are
   ambiguous in the event kernel (timer and arrivals are armed in the
   same slot) and are avoided by exact-differential configurations.
-- Retries (the paper's ``T``) cannot fire in a loss-free run -- a pull
-  completes in 2 slots, ``T`` is 8 -- so the kernel schedules each
-  request at most once and treats the retry period as a lower bound
-  enforced by :class:`~repro.megasim.strategies.CompiledStrategy`.
+- A zero-delay first request is scheduled *during* advert processing
+  (``sim.schedule(0, ...)``), so it fires after everything else in the
+  slot: an eager delivery in the advert's slot cancels the request, and
+  same-slot adverts are already known sources.
+
+**Retries.**  Each fire asks one not-yet-asked source (FIFO: first
+advertiser; nearest: lowest metric, earliest-on-ties -- what
+``min(sources, key=metric)`` picks over arrival order) and re-arms the
+timer ``retry_rounds`` ahead, exactly like ``RequestQueue._fire``.  A
+fire that finds every live source already asked drops the entry instead
+(sources forgotten, modeled by an epoch bump); a later advertisement
+re-queues the node fresh with ``first_delay_rounds``.  In a loss-free
+run no retry can fire (a pull completes in 2 slots, the retry period
+exceeds 2 by construction), which is why the pre-fault kernel could
+schedule each request at most once; with loss or crashes injected
+(``faults``), retries are load-bearing and counted in
+``MessageOutcome.retries`` (the event kernel's ``retries_sent``).
+
+**Faults.**  A :class:`~repro.megasim.adapter.CompiledFaults` filters
+every packet batch *after* send-side accounting (``on_send`` fires
+before the fabric's drop checks, so sent counters include dropped
+packets) and before queueing for arrival.  Bernoulli loss draws come
+from ``loss_rng`` -- a dedicated stream -- so fault-free outcomes are
+byte-identical with or without the loss machinery armed.
 """
 
 from __future__ import annotations
@@ -42,12 +62,9 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 from numpy.typing import NDArray
 
-from repro.megasim.adapter import VectorTopology
+from repro.megasim.adapter import CompiledFaults, VectorTopology
 from repro.megasim.state import (
     NODE_DTYPE,
-    REQUEST_FIRED,
-    REQUEST_NONE,
-    REQUEST_PENDING,
     ROUND_DTYPE,
     MessageState,
 )
@@ -75,6 +92,9 @@ class MessageOutcome:
     iwant_sent: int
     slots_elapsed: int
     link_counts: Optional[Dict[Tuple[int, int], int]] = None
+    #: IWANTs past the first per entry (the event kernel's
+    #: ``RequestQueue.retries_sent``); 0 in any loss-free run.
+    retries: int = 0
 
     @property
     def delivered_count(self) -> int:
@@ -90,10 +110,20 @@ class MessageOutcome:
 
 @dataclass
 class _SlotQueues:
-    """Per-slot batch buffers, popped as the clock reaches each slot."""
+    """Per-slot batch buffers, popped as the clock reaches each slot.
+
+    Pull answers keep two queues because their position among a slot's
+    MSG arrivals is fixed by event-queue FIFO order: an IWANT fired in
+    the *early* phase (timer armed in an earlier slot) is the first
+    packet its source processes next slot, so its answer is enqueued --
+    and therefore arrives -- *before* that slot's eager forwards; an
+    IWANT fired in the *late* phase (zero-delay first request) trails
+    the whole arrival phase, so its answer lands *after* them.
+    """
 
     eager: Dict[int, List[Batch]] = field(default_factory=dict)
-    pull: Dict[int, List[Batch]] = field(default_factory=dict)
+    pull_early: Dict[int, List[Batch]] = field(default_factory=dict)
+    pull_late: Dict[int, List[Batch]] = field(default_factory=dict)
     advert: Dict[int, List[Batch]] = field(default_factory=dict)
 
     def push(self, queue: Dict[int, List[Batch]], slot: int, batch: Batch) -> None:
@@ -101,7 +131,9 @@ class _SlotQueues:
             queue.setdefault(slot, []).append(batch)
 
     def busy(self) -> bool:
-        return bool(self.eager or self.pull or self.advert)
+        return bool(
+            self.eager or self.pull_early or self.pull_late or self.advert
+        )
 
 
 def sample_targets(
@@ -177,6 +209,16 @@ def _sample_without_replacement(
         )
 
 
+@dataclass
+class _Counters:
+    """Run-wide packet tallies (sender-side, pre-drop)."""
+
+    msg_sent: int = 0
+    ihave_sent: int = 0
+    iwant_sent: int = 0
+    retries: int = 0
+
+
 def disseminate(
     topology: VectorTopology,
     strategy: CompiledStrategy,
@@ -186,6 +228,8 @@ def disseminate(
     rng: np.random.Generator,
     views: Optional[NDArray[np.int32]] = None,
     track_links: bool = False,
+    faults: Optional[CompiledFaults] = None,
+    loss_rng: Optional[np.random.Generator] = None,
 ) -> MessageOutcome:
     """Run one message's epidemic to completion; see the module docstring
     for the slot-ordering contract."""
@@ -196,12 +240,21 @@ def disseminate(
         raise ValueError(f"fanout must be >= 1, got {fanout}")
     if rounds < 1:
         raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if faults is not None:
+        if faults.n != n:
+            raise ValueError(
+                f"faults compiled for {faults.n} nodes, topology has {n}"
+            )
+        if faults.crashed is not None and faults.crashed[origin]:
+            raise ValueError(f"origin {origin} is crash-stopped")
+        if faults.needs_rng and loss_rng is None:
+            raise ValueError(
+                "faults with Bernoulli loss need a dedicated loss_rng"
+            )
     state = MessageState(n)
     queues = _SlotQueues()
     links: Optional[Dict[Tuple[int, int], int]] = {} if track_links else None
-    msg_sent = 0
-    ihave_sent = 0
-    iwant_sent = 0
+    counters = _Counters()
     delay = strategy.first_delay_rounds
 
     # Slot 0: the origin delivers its own multicast at round 0.
@@ -215,30 +268,37 @@ def disseminate(
         if t > 0:
             newly = _process_arrivals(state, queues, t)
 
-        # -- 2/3. request firing vs advert processing: a positive-delay
-        # timer precedes the slot's arrivals-and-adverts (armed in an
-        # earlier slot), a zero-delay request is armed by the adverts
-        # themselves and fires after everything else in the slot.
-        if delay > 0:
-            fired = _fire_requests(state, t, delay)
-            _process_adverts(state, strategy, queues, t, delay)
-        else:
-            _process_adverts(state, strategy, queues, t, delay)
-            fired = _fire_requests(state, t, delay)
-        if fired.size:
-            iwant_sent += int(fired.size)
-            msg_sent += int(fired.size)
-            pull_src = state.chosen_src[fired]
-            np.add.at(state.payload_sent, pull_src, 1)
-            if links is not None:
-                _count_links(links, pull_src, fired)
-            queues.push(
-                queues.pull,
-                t + 2,
-                (pull_src.copy(), fired, state.chosen_round[fired].copy()),
-            )
+        # -- 2. early fires: timers armed in an earlier slot (delayed
+        # first requests, every retry) precede this slot's arrivals, so
+        # they fire even for nodes whose first MSG landed this very slot.
+        early = _due_nodes(state, t, early=True)
+        requesters, pull_src, pull_rnd = _fire_requests(
+            state, strategy, t, early
+        )
+        _emit_pulls(
+            state, queues, counters, links, t,
+            requesters, pull_src, pull_rnd, faults, loss_rng, late=False,
+        )
 
-        # -- 4. forwards from nodes that delivered this slot ------------
+        # -- 3. Clear(i): a first MSG arrival cancels the node's entry
+        # (after the early timers it could not beat in the event queue).
+        _clear_received(state, t)
+
+        # -- 4. adverts: append sources, activate entries --------------
+        _process_adverts(state, strategy, queues, t, delay)
+
+        # -- 5. late fires: zero-delay first requests armed by this
+        # slot's adverts fire after everything else in the slot.
+        late = _due_nodes(state, t, early=False)
+        requesters, pull_src, pull_rnd = _fire_requests(
+            state, strategy, t, late
+        )
+        _emit_pulls(
+            state, queues, counters, links, t,
+            requesters, pull_src, pull_rnd, faults, loss_rng, late=True,
+        )
+
+        # -- 6. forwards from nodes that delivered this slot ------------
         if newly.size:
             carried = state.carried_round[newly]
             senders = newly[carried < rounds]
@@ -247,21 +307,30 @@ def disseminate(
                 rnd = (state.carried_round[src] + 1).astype(ROUND_DTYPE)
                 eager = strategy.evaluator.eager_mask(src, dst, rnd, rng)
                 eager_src, eager_dst = src[eager], dst[eager]
+                eager_rnd = rnd[eager]
                 lazy = ~eager
                 lazy_src, lazy_dst = src[lazy], dst[lazy]
-                msg_sent += int(eager_src.size)
-                ihave_sent += int(lazy_src.size)
+                lazy_rnd = rnd[lazy]
+                counters.msg_sent += int(eager_src.size)
+                counters.ihave_sent += int(lazy_src.size)
                 np.add.at(state.payload_sent, eager_src, 1)
                 if links is not None:
                     _count_links(links, eager_src, eager_dst)
+                if faults is not None:
+                    keep = faults.deliver_mask(eager_src, eager_dst, loss_rng)
+                    eager_src, eager_dst = eager_src[keep], eager_dst[keep]
+                    eager_rnd = eager_rnd[keep]
+                    keep = faults.deliver_mask(lazy_src, lazy_dst, loss_rng)
+                    lazy_src, lazy_dst = lazy_src[keep], lazy_dst[keep]
+                    lazy_rnd = lazy_rnd[keep]
                 queues.push(
-                    queues.eager, t + 1, (eager_src, eager_dst, rnd[eager])
+                    queues.eager, t + 1, (eager_src, eager_dst, eager_rnd)
                 )
                 queues.push(
-                    queues.advert, t + 1, (lazy_src, lazy_dst, rnd[lazy])
+                    queues.advert, t + 1, (lazy_src, lazy_dst, lazy_rnd)
                 )
 
-        if not queues.busy() and not _requests_due_after(state, t):
+        if not queues.busy() and not bool(state.request_active.any()):
             break
         t += 1
 
@@ -271,11 +340,12 @@ def disseminate(
         carried_round=state.carried_round,
         payload_sent=state.payload_sent,
         payload_received=state.payload_received,
-        msg_sent=msg_sent,
-        ihave_sent=ihave_sent,
-        iwant_sent=iwant_sent,
+        msg_sent=counters.msg_sent,
+        ihave_sent=counters.ihave_sent,
+        iwant_sent=counters.iwant_sent,
         slots_elapsed=t,
         link_counts=links,
+        retries=counters.retries,
     )
 
 
@@ -284,7 +354,11 @@ def _process_arrivals(
 ) -> NDArray[np.int32]:
     """Apply this slot's MSG batches; returns the newly delivered nodes
     in ascending id order."""
-    batches = queues.eager.pop(t, []) + queues.pull.pop(t, [])
+    batches = (
+        queues.pull_early.pop(t, [])
+        + queues.eager.pop(t, [])
+        + queues.pull_late.pop(t, [])
+    )
     if not batches:
         return np.empty(0, dtype=NODE_DTYPE)
     dst = np.concatenate([b[1] for b in batches])
@@ -308,6 +382,156 @@ def _process_arrivals(
     return winners.astype(NODE_DTYPE, copy=False)
 
 
+def _due_nodes(
+    state: MessageState, t: int, early: bool
+) -> NDArray[np.int32]:
+    """Entries whose timer fires in this phase of slot ``t``.
+
+    Early = armed in an earlier slot: the timer event precedes the
+    slot's packet arrivals, so a node whose first MSG landed *this* slot
+    (``received_slot == t``) still fires -- the event kernel sent that
+    IWANT before processing the arrival that would have cleared it.
+    Late = armed this slot (zero-delay first requests): fires after the
+    arrivals, so any received node's entry is already cleared and a
+    liveness check is unnecessary.
+    """
+    due = state.request_active & (state.request_due == t)
+    if early:
+        due &= state.request_armed < t
+        due &= (state.received_slot == -1) | (state.received_slot == t)
+    else:
+        due &= state.request_armed == t
+    return np.flatnonzero(due).astype(NODE_DTYPE, copy=False)
+
+
+def _fire_requests(
+    state: MessageState,
+    strategy: CompiledStrategy,
+    t: int,
+    due: NDArray[np.int32],
+) -> Tuple[NDArray[np.int32], NDArray[np.int32], NDArray[np.int32]]:
+    """``RequestQueue._fire`` over every due node at once.
+
+    Each due node asks its best live un-asked source (FIFO: lowest row
+    index = first advertiser; nearest: lowest metric with the earliest
+    row breaking ties) and re-arms ``retry_rounds`` ahead.  Nodes with
+    no live un-asked source drop their entry -- epoch bump, sources
+    forgotten -- exactly like the event queue "clearing itself".
+    Returns aligned ``(requester, source, round)`` arrays of the IWANTs
+    to emit.
+    """
+    empty = np.empty(0, dtype=NODE_DTYPE)
+    if due.size == 0:
+        return empty, empty.copy(), empty.copy()
+    log = state.adverts
+    firing = np.zeros(state.n, dtype=bool)
+    firing[due] = True
+    log_dst = log.dst
+    rows = np.flatnonzero(
+        firing[log_dst]
+        & (log.epoch == state.epoch[log_dst])
+        & ~log.asked
+    )
+    if rows.size:
+        row_dst = log_dst[rows]
+        if strategy.nearest_source:
+            order = np.lexsort(
+                (rows, log.metric[rows], row_dst)
+            )
+            rows, row_dst = rows[order], row_dst[order]
+        chosen_dst, first = np.unique(row_dst, return_index=True)
+        chosen_rows = rows[first]
+        log.mark_asked(chosen_rows)
+    else:
+        chosen_dst = np.empty(0, dtype=NODE_DTYPE)
+        chosen_rows = np.empty(0, dtype=np.int64)
+    # Entries with nothing left to ask clear themselves.
+    exhausted = firing
+    exhausted[chosen_dst] = False
+    dropped = np.flatnonzero(exhausted)
+    if dropped.size:
+        state.request_active[dropped] = False
+        state.request_due[dropped] = -1
+        state.request_armed[dropped] = -1
+        state.request_attempts[dropped] = 0
+        state.epoch[dropped] += 1
+    if chosen_dst.size == 0:
+        return empty, empty.copy(), empty.copy()
+    state.request_armed[chosen_dst] = t
+    state.request_due[chosen_dst] = t + strategy.retry_rounds
+    state.request_attempts[chosen_dst] += 1
+    return (
+        chosen_dst.astype(NODE_DTYPE, copy=False),
+        log.src[chosen_rows],
+        log.rnd[chosen_rows],
+    )
+
+
+def _emit_pulls(
+    state: MessageState,
+    queues: _SlotQueues,
+    counters: _Counters,
+    links: Optional[Dict[Tuple[int, int], int]],
+    t: int,
+    requesters: NDArray[np.int32],
+    sources: NDArray[np.int32],
+    rnds: NDArray[np.int32],
+    faults: Optional[CompiledFaults],
+    loss_rng: Optional[np.random.Generator],
+    late: bool,
+) -> None:
+    """Send the IWANTs fired at slot ``t`` and queue their answers.
+
+    The IWANT travels requester -> source (one slot); a delivered IWANT
+    makes the source answer with a MSG carrying the advertised round,
+    which lands at ``t + 2`` -- each leg independently subject to the
+    fault filter, with sends counted before their own drop, matching
+    the fabric's observer ordering.  ``late`` routes the answer to the
+    pull queue matching the firing phase (see :class:`_SlotQueues`).
+    """
+    if requesters.size == 0:
+        return
+    counters.iwant_sent += int(requesters.size)
+    counters.retries += int(
+        np.count_nonzero(state.request_attempts[requesters] > 1)
+    )
+    if faults is not None:
+        keep = faults.deliver_mask(requesters, sources, loss_rng)
+        requesters, sources, rnds = (
+            requesters[keep], sources[keep], rnds[keep]
+        )
+        if requesters.size == 0:
+            return
+    # The answering MSG: counted at the source for every delivered
+    # IWANT, dropped (if at all) on its own return leg.
+    counters.msg_sent += int(sources.size)
+    np.add.at(state.payload_sent, sources, 1)
+    if links is not None:
+        _count_links(links, sources, requesters)
+    if faults is not None:
+        keep = faults.deliver_mask(sources, requesters, loss_rng)
+        requesters, sources, rnds = (
+            requesters[keep], sources[keep], rnds[keep]
+        )
+    queues.push(
+        queues.pull_late if late else queues.pull_early,
+        t + 2,
+        (sources.copy(), requesters.copy(), rnds.copy()),
+    )
+
+
+def _clear_received(state: MessageState, t: int) -> None:
+    """Cancel the entries of nodes whose first MSG landed this slot."""
+    cleared = np.flatnonzero(state.request_active & (state.received_slot == t))
+    if cleared.size == 0:
+        return
+    state.request_active[cleared] = False
+    state.request_due[cleared] = -1
+    state.request_armed[cleared] = -1
+    state.request_attempts[cleared] = 0
+    state.epoch[cleared] += 1
+
+
 def _process_adverts(
     state: MessageState,
     strategy: CompiledStrategy,
@@ -315,7 +539,14 @@ def _process_adverts(
     t: int,
     delay: int,
 ) -> None:
-    """Apply this slot's IHAVE batches to the request schedule."""
+    """Apply this slot's IHAVE batches to the request schedule.
+
+    Every advert to a still-waiting node is appended to the shared log
+    (arrival order preserved; each (src, dst) pair advertises at most
+    once per message, so no dedup is needed); nodes without an active
+    entry are (re-)queued with the strategy's first-request delay,
+    mirroring ``RequestQueue.queue``.
+    """
     batches = queues.advert.pop(t, [])
     if not batches:
         return
@@ -324,48 +555,23 @@ def _process_adverts(
     rnd = np.concatenate([b[2] for b in batches])
     # Adverts are ignored once a MSG packet has arrived (the scheduler's
     # ``received`` check -- NOT gossip delivery: the origin is still
-    # advertisable); adverts to nodes whose request already fired only
-    # matter to retries, which cannot fire in a loss-free run.
-    live = (state.received_slot[dst] == -1) & (
-        state.request_state[dst] != REQUEST_FIRED
-    )
+    # advertisable).
+    live = state.received_slot[dst] == -1
     src, dst, rnd = src[live], dst[live], rnd[live]
     if dst.size == 0:
         return
-    if strategy.nearest_source:
-        metric = state.chosen_metric  # alias for brevity
-        values = _requester_metric(strategy, dst, src)
-        # Order by (dst, metric, arrival) so the first row per dst is
-        # the earliest-arriving minimal-metric source -- what
-        # ``min(sources, key=monitor.metric)`` picks.
-        order = np.lexsort((np.arange(dst.size), values, dst))
-        dst_o, src_o = dst[order], src[order]
-        rnd_o, val_o = rnd[order], values[order]
-        uniq, first = np.unique(dst_o, return_index=True)
-        best_src, best_rnd, best_val = src_o[first], rnd_o[first], val_o[first]
-        fresh = state.request_state[uniq] == REQUEST_NONE
-        register = uniq[fresh]
-        state.request_state[register] = REQUEST_PENDING
-        state.request_due[register] = t + delay
-        state.chosen_src[register] = best_src[fresh]
-        state.chosen_round[register] = best_rnd[fresh]
-        metric[register] = best_val[fresh]
-        pending = uniq[~fresh]
-        if pending.size:
-            better = best_val[~fresh] < metric[pending]
-            update = pending[better]
-            state.chosen_src[update] = best_src[~fresh][better]
-            state.chosen_round[update] = best_rnd[~fresh][better]
-            metric[update] = best_val[~fresh][better]
-        return
-    # FIFO discipline: the first advertiser ever seen is the source.
-    uniq, first = np.unique(dst, return_index=True)
-    fresh = state.request_state[uniq] == REQUEST_NONE
-    register = uniq[fresh]
-    state.request_state[register] = REQUEST_PENDING
-    state.request_due[register] = t + delay
-    state.chosen_src[register] = src[first][fresh]
-    state.chosen_round[register] = rnd[first][fresh]
+    metric = (
+        _requester_metric(strategy, dst, src)
+        if strategy.nearest_source
+        else np.zeros(dst.shape[0], np.float64)
+    )
+    state.adverts.append(dst, src, rnd, metric, state.epoch[dst])
+    fresh = np.unique(dst[~state.request_active[dst]])
+    if fresh.size:
+        state.request_active[fresh] = True
+        state.request_armed[fresh] = t
+        state.request_due[fresh] = t + delay
+        state.request_attempts[fresh] = 0
 
 
 def _requester_metric(
@@ -379,40 +585,6 @@ def _requester_metric(
     if topology is None:  # pragma: no cover - nearest implies a monitor
         raise ValueError("nearest-source discipline needs a metric topology")
     return topology.metric(strategy.metric_kind, requester, source)
-
-
-def _fire_requests(
-    state: MessageState, t: int, delay: int
-) -> NDArray[np.int32]:
-    """Send the IWANTs due this slot; returns the requesting nodes.
-
-    Zero-delay requests fire only if no MSG packet has arrived by the
-    end of the slot's arrivals; positive-delay timers precede the
-    arrivals, so a node whose first MSG lands *in this very slot* still
-    requests (and will receive the answer as a duplicate) -- both
-    straight from the event queue's FIFO ordering.
-    """
-    due = (state.request_state == REQUEST_PENDING) & (state.request_due == t)
-    if not due.any():
-        return np.empty(0, dtype=NODE_DTYPE)
-    if delay > 0:
-        live = due & (
-            (state.received_slot == -1) | (state.received_slot == t)
-        )
-    else:
-        live = due & (state.received_slot == -1)
-    cancelled = due & ~live
-    state.request_state[cancelled] = REQUEST_NONE
-    state.request_due[due] = -1
-    fired = np.flatnonzero(live).astype(NODE_DTYPE)
-    state.request_state[fired] = REQUEST_FIRED
-    return fired
-
-
-def _requests_due_after(state: MessageState, t: int) -> bool:
-    """True while pending requests still wait for a future slot."""
-    pending = state.request_state == REQUEST_PENDING
-    return bool(np.any(pending & (state.request_due > t)))
 
 
 def _count_links(

@@ -19,12 +19,16 @@ import numpy as np
 from numpy.typing import NDArray
 
 from repro.experiments.parallel import run_tasks
+from repro.failures.gray import GrayFailurePlan
+from repro.failures.injection import FailurePlan
 from repro.gossip.config import recommended_rounds
 from repro.megasim.adapter import (
+    CompiledFaults,
     PlaneTopology,
     UniformTopology,
     VectorTopology,
     build_views,
+    compile_faults,
     summary_from_outcomes,
     to_recorder,
 )
@@ -48,7 +52,11 @@ class MegasimSpec:
     :func:`repro.gossip.config.recommended_rounds`, matching what
     ``GossipConfig.for_population`` gives the event kernel.
     ``origins=None`` draws one origin per message from the derived
-    ``megasim.origins`` stream.
+    ``megasim.origins`` stream -- among *alive* nodes when ``failure``
+    crashes some (the event engine also multicasts from alive senders
+    only); the draws are identical to the unconstrained ones whenever no
+    node is crashed.  ``failure``/``gray`` carry the supported fault
+    subset -- see :func:`repro.megasim.adapter.compile_faults`.
     """
 
     strategy_factory: StrategyFactory
@@ -64,6 +72,8 @@ class MegasimSpec:
     origins: Optional[Tuple[int, ...]] = None
     payload_bytes: int = 256
     track_links: bool = False
+    failure: Optional[FailurePlan] = None
+    gray: Optional[GrayFailurePlan] = None
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -100,6 +110,8 @@ class MegasimResult:
     spec: MegasimSpec
     outcomes: List[MessageOutcome]
     round_ms: float
+    #: Crash-stopped node ids (ascending); empty without a failure plan.
+    failed: List[int] = field(default_factory=list)
     summary: RunSummary = field(init=False)
 
     def __post_init__(self) -> None:
@@ -108,7 +120,14 @@ class MegasimResult:
             self.spec.nodes,
             self.round_ms,
             payload_bytes=self.spec.payload_bytes,
+            expected_receivers=self.spec.nodes - len(self.failed),
         )
+
+    @property
+    def retries(self) -> int:
+        """IWANT retries across all messages (the event kernel's
+        ``retries_sent`` tally)."""
+        return sum(outcome.retries for outcome in self.outcomes)
 
     def to_recorder(self) -> MetricsRecorder:
         """Replay into a recorder (small-N analysis only)."""
@@ -124,13 +143,29 @@ def build_topology(spec: MegasimSpec) -> VectorTopology:
     return PlaneTopology(spec.nodes, seed=spec.seed, side=2.0 * spec.round_ms)
 
 
-def message_origins(spec: MegasimSpec) -> Tuple[int, ...]:
-    """Per-message origin nodes, explicit or derived from the seed."""
+def message_origins(
+    spec: MegasimSpec, faults: Optional[CompiledFaults] = None
+) -> Tuple[int, ...]:
+    """Per-message origin nodes, explicit or derived from the seed.
+
+    With crash faults in play, derived origins are drawn among the alive
+    nodes (the event engine's traffic generator also sends from alive
+    nodes only).  Without crashes the alive population is all nodes and
+    the draws are bit-identical to the unconstrained ones.
+    """
     if spec.origins is not None:
         return spec.origins
     rng = np.random.default_rng(
         RandomStreams(spec.seed).derive_seed("megasim.origins")
     )
+    if faults is not None and faults.crashed is not None:
+        alive = np.flatnonzero(~faults.crashed)
+        if alive.size == 0:
+            raise ValueError("failure plan crashed every node")
+        return tuple(
+            int(o)
+            for o in alive[rng.integers(0, alive.size, size=spec.messages)]
+        )
     return tuple(
         int(o) for o in rng.integers(0, spec.nodes, size=spec.messages)
     )
@@ -139,6 +174,17 @@ def message_origins(spec: MegasimSpec) -> Tuple[int, ...]:
 def message_seed(spec: MegasimSpec, index: int) -> int:
     """The derived RNG seed of message ``index`` -- fixed before dispatch."""
     return RandomStreams(spec.seed).derive_seed(f"megasim.message.{index}")
+
+
+def loss_seed(spec: MegasimSpec, index: int) -> int:
+    """The derived seed of message ``index``'s Bernoulli loss stream.
+
+    Loss draws come from their own stream so that arming the loss
+    machinery at probability zero -- or not at all -- leaves the main
+    dissemination stream, and therefore every outcome array,
+    byte-identical.
+    """
+    return RandomStreams(spec.seed).derive_seed(f"megasim.loss.{index}")
 
 
 @dataclass(frozen=True)
@@ -151,9 +197,13 @@ class _MessageTask:
     views: Optional[NDArray[np.int32]]
     origin: int
     index: int
+    faults: Optional[CompiledFaults] = None
 
     def __call__(self) -> MessageOutcome:
         rng = np.random.default_rng(message_seed(self.spec, self.index))
+        loss_rng: Optional[np.random.Generator] = None
+        if self.faults is not None and self.faults.needs_rng:
+            loss_rng = np.random.default_rng(loss_seed(self.spec, self.index))
         return disseminate(
             self.topology,
             self.strategy,
@@ -163,6 +213,8 @@ class _MessageTask:
             rng,
             views=self.views,
             track_links=self.spec.track_links,
+            faults=self.faults,
+            loss_rng=loss_rng,
         )
 
 
@@ -197,10 +249,18 @@ def run_megasim(
                 RandomStreams(spec.seed).derive_seed("megasim.views")
             ),
         )
-    origins = message_origins(spec)
+    faults = compile_faults(
+        spec.nodes, spec.seed, failure=spec.failure, gray=spec.gray
+    )
+    origins = message_origins(spec, faults)
     tasks = [
-        _MessageTask(spec, topology, strategy, views, origin, index)
+        _MessageTask(spec, topology, strategy, views, origin, index, faults)
         for index, origin in enumerate(origins)
     ]
     outcomes: List[MessageOutcome] = run_tasks(tasks, workers=workers)
-    return MegasimResult(spec=spec, outcomes=outcomes, round_ms=topology.round_ms)
+    return MegasimResult(
+        spec=spec,
+        outcomes=outcomes,
+        round_ms=topology.round_ms,
+        failed=faults.failed_nodes() if faults is not None else [],
+    )

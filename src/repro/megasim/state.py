@@ -10,9 +10,15 @@ scale) and slots/rounds are ``int32`` too, so the resident state for a
 million nodes is ~40 MB per in-flight message.
 
 Request-schedule state mirrors :mod:`repro.scheduler.requests` under
-slot semantics: a node's pending IWANT is a due slot plus the source it
-will ask (``chosen_*``), updated as advertisements accumulate under the
-strategy's source-selection discipline (FIFO or nearest).
+slot semantics.  A node's pending entry is four scalars (``active``,
+``due``, ``armed``, ``attempts``) plus an *epoch* counter, and the known
+sources live in one shared :class:`AdvertLog`: an append-only columnar
+log of every IHAVE delivered to a still-waiting node.  Because each node
+forwards a message at most once, any ordered ``(src, dst)`` pair
+advertises at most once per message, so the log needs no deduplication;
+the event queue's "entry dropped, sources forgotten" rule is reproduced
+by bumping ``epoch[dst]`` -- rows stamped with an older epoch are dead,
+and a later advertisement re-queues the node against fresh rows only.
 """
 
 from __future__ import annotations
@@ -24,11 +30,92 @@ NODE_DTYPE = np.int32
 SLOT_DTYPE = np.int32
 ROUND_DTYPE = np.int32
 
-#: ``request_state`` values: no request registered / registered and
-#: waiting for its due slot / request fired (IWANT sent).
-REQUEST_NONE = 0
-REQUEST_PENDING = 1
-REQUEST_FIRED = 2
+
+class AdvertLog:
+    """Append-only columnar log of delivered IHAVE advertisements.
+
+    Columns are aligned arrays over rows 0..size: the advertised node
+    (``dst``), the advertising source, the gossip round the source's
+    cached payload would carry, the requester-side monitor metric (0
+    under the FIFO discipline), the ``dst`` entry epoch at append time,
+    and whether the row's source has been asked.  Rows are appended in
+    packet-processing order, so ascending row index *is* the event
+    kernel's advertisement arrival order.
+    """
+
+    __slots__ = ("size", "_dst", "_src", "_rnd", "_metric", "_epoch", "_asked")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.size = 0
+        self._dst: NDArray[np.int32] = np.empty(capacity, NODE_DTYPE)
+        self._src: NDArray[np.int32] = np.empty(capacity, NODE_DTYPE)
+        self._rnd: NDArray[np.int32] = np.empty(capacity, ROUND_DTYPE)
+        self._metric: NDArray[np.float64] = np.empty(capacity, np.float64)
+        self._epoch: NDArray[np.int32] = np.empty(capacity, np.int32)
+        self._asked: NDArray[np.bool_] = np.empty(capacity, np.bool_)
+
+    def _grow(self, needed: int) -> None:
+        capacity = self._dst.shape[0]
+        if self.size + needed <= capacity:
+            return
+        while capacity < self.size + needed:
+            capacity *= 2
+        for name in ("_dst", "_src", "_rnd", "_metric", "_epoch", "_asked"):
+            old = getattr(self, name)
+            grown = np.empty(capacity, old.dtype)
+            grown[: self.size] = old[: self.size]
+            setattr(self, name, grown)
+
+    def append(
+        self,
+        dst: NDArray[np.int32],
+        src: NDArray[np.int32],
+        rnd: NDArray[np.int32],
+        metric: NDArray[np.float64],
+        epoch: NDArray[np.int32],
+    ) -> None:
+        """Append one batch of adverts (aligned arrays, arrival order)."""
+        count = int(dst.shape[0])
+        if count == 0:
+            return
+        self._grow(count)
+        stop = self.size + count
+        self._dst[self.size : stop] = dst
+        self._src[self.size : stop] = src
+        self._rnd[self.size : stop] = rnd
+        self._metric[self.size : stop] = metric
+        self._epoch[self.size : stop] = epoch
+        self._asked[self.size : stop] = False
+        self.size = stop
+
+    @property
+    def dst(self) -> NDArray[np.int32]:
+        return self._dst[: self.size]
+
+    @property
+    def src(self) -> NDArray[np.int32]:
+        return self._src[: self.size]
+
+    @property
+    def rnd(self) -> NDArray[np.int32]:
+        return self._rnd[: self.size]
+
+    @property
+    def metric(self) -> NDArray[np.float64]:
+        return self._metric[: self.size]
+
+    @property
+    def epoch(self) -> NDArray[np.int32]:
+        return self._epoch[: self.size]
+
+    @property
+    def asked(self) -> NDArray[np.bool_]:
+        return self._asked[: self.size]
+
+    def mark_asked(self, rows: NDArray[np.int64]) -> None:
+        self._asked[rows] = True
 
 
 class MessageState:
@@ -41,11 +128,12 @@ class MessageState:
         "carried_round",
         "payload_sent",
         "payload_received",
-        "request_state",
+        "request_active",
         "request_due",
-        "chosen_src",
-        "chosen_round",
-        "chosen_metric",
+        "request_armed",
+        "request_attempts",
+        "epoch",
+        "adverts",
     )
 
     def __init__(self, n: int) -> None:
@@ -62,19 +150,27 @@ class MessageState:
         self.received_slot: NDArray[np.int32] = np.full(n, -1, SLOT_DTYPE)
         #: Gossip round carried by the delivering MSG (0 for the origin).
         self.carried_round: NDArray[np.int32] = np.full(n, -1, ROUND_DTYPE)
-        #: MSG packets sent by each node (eager forwards + IWANT answers).
+        #: MSG packets sent by each node (eager forwards + IWANT answers),
+        #: counted at the sender like the recorder's ``on_send`` -- i.e.
+        #: *before* any loss or crash drop.
         self.payload_sent: NDArray[np.int64] = np.zeros(n, np.int64)
         #: MSG packets received by each node (deliveries + duplicates).
         self.payload_received: NDArray[np.int64] = np.zeros(n, np.int64)
-        #: Request-schedule state machine (REQUEST_* above).
-        self.request_state: NDArray[np.int8] = np.zeros(n, np.int8)
-        #: Slot at which the pending IWANT fires; -1 when none.
+        #: True while the node has a pending request entry (the event
+        #: kernel's ``RequestQueue._pending`` membership).
+        self.request_active: NDArray[np.bool_] = np.zeros(n, np.bool_)
+        #: Slot at which the entry's timer fires next; -1 when inactive.
         self.request_due: NDArray[np.int32] = np.full(n, -1, SLOT_DTYPE)
-        #: Source the pending request will ask, its cached round, and its
-        #: monitor metric (for the nearest-source discipline).
-        self.chosen_src: NDArray[np.int32] = np.full(n, -1, NODE_DTYPE)
-        self.chosen_round: NDArray[np.int32] = np.full(n, -1, ROUND_DTYPE)
-        self.chosen_metric: NDArray[np.float64] = np.full(n, np.inf, np.float64)
+        #: Slot at which that timer was armed -- decides whether the fire
+        #: precedes (armed earlier) or follows (armed this slot) the due
+        #: slot's packet arrivals, straight from event-queue FIFO order.
+        self.request_armed: NDArray[np.int32] = np.full(n, -1, SLOT_DTYPE)
+        #: Requests sent by the current entry (attempt 2+ is a retry).
+        self.request_attempts: NDArray[np.int32] = np.zeros(n, SLOT_DTYPE)
+        #: Entry generation; advert-log rows from older epochs are dead.
+        self.epoch: NDArray[np.int32] = np.zeros(n, np.int32)
+        #: Shared advertisement log (known sources, arrival order).
+        self.adverts = AdvertLog()
 
     @property
     def delivered_count(self) -> int:

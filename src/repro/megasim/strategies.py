@@ -15,7 +15,11 @@ The semantic mapping to the event kernel:
   at ``round_ms`` per slot.  Exact differential configurations use
   delays divisible by the slot (and avoid exactly one slot, where the
   event kernel's intra-slot event order is ambiguous); anything else is
-  a legitimate round-approximation.
+  a legitimate round-approximation.  ``retry_rounds`` is live: under
+  injected loss or crashes the kernel re-fires pending requests every
+  retry period, walking the advertised sources exactly like
+  ``RequestQueue`` (in a loss-free run no retry can ever fire, since a
+  pull completes in 2 slots and the retry period exceeds 2).
 - ``select_source`` becomes ``nearest_source``: False = FIFO (first
   advertiser), True = lowest monitor metric, first-on-ties -- matching
   ``min(sources, key=metric)`` over arrival order.

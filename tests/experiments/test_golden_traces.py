@@ -1,8 +1,9 @@
 """Golden-trace regression tests: determinism, pinned.
 
-Each canonical configuration (Flat, TTL, Radius, Ranked, Hybrid) has a
-digest of its full observable behaviour -- event order, per-node
-delivery latencies, payload counts -- committed under ``tests/golden/``.
+Each canonical configuration (Flat, TTL, Radius, Ranked, Hybrid, plus
+the two lossy fault configurations) has a digest of its full observable
+behaviour -- event order, per-node delivery latencies, payload counts
+-- committed under ``tests/golden/``.
 The tests recompute the digest and compare exactly; any change to the
 simulator, scheduler, strategies or RNG plumbing that shifts even one
 event timestamp fails here first.
@@ -24,7 +25,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.golden import (
-    CANONICAL_STRATEGIES,
+    CANONICAL_CONFIGS,
     canonical_model,
     canonical_spec,
     compute_golden,
@@ -34,7 +35,7 @@ from repro.experiments.parallel import run_experiments
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
 
-CONFIGS = sorted(CANONICAL_STRATEGIES)
+CONFIGS = list(CANONICAL_CONFIGS)
 
 
 def golden_path(name: str) -> Path:
@@ -61,7 +62,7 @@ def test_matches_stored_golden(name, update_golden):
     )
 
 
-@pytest.mark.parametrize("name", ["flat", "ranked"])
+@pytest.mark.parametrize("name", ["flat", "ranked", "flat_lossy"])
 def test_pooled_run_reproduces_golden(name):
     """A run executed in a pool worker matches the committed digest."""
     stored = json.loads(golden_path(name).read_text())

@@ -192,3 +192,128 @@ class TestResultAdapters:
         summary = summary_from_outcomes([], n=10, round_ms=50.0)
         assert summary.messages == 0
         assert summary.deliveries == 0
+
+
+class TestFaultCompilation:
+    """compile_faults: plans lowered to masks/key sets, replaying the
+    event injectors' derived streams bit-for-bit."""
+
+    def test_empty_plans_compile_to_none(self) -> None:
+        from repro.failures.gray import GrayFailurePlan
+        from repro.failures.injection import FailurePlan
+        from repro.megasim.adapter import compile_faults
+
+        assert compile_faults(24, 0) is None
+        assert compile_faults(24, 0, failure=FailurePlan(fraction=0.0)) is None
+        assert (
+            compile_faults(
+                24,
+                0,
+                gray=GrayFailurePlan(
+                    lossy_link_fraction=1.0, link_loss_probability=0.0
+                ),
+            )
+            is None
+        )
+
+    def test_crash_victims_replay_the_event_injector(self) -> None:
+        from repro.experiments.runner import ExperimentSpec
+        from repro.experiments.scenarios import flat_factory as flat
+        from repro.experiments.workload import TrafficConfig
+        from repro.failures.injection import FailurePlan
+        from repro.gossip.config import GossipConfig
+        from repro.megasim.adapter import compile_faults
+        from repro.runtime.cluster import Cluster, ClusterConfig
+
+        plan = FailurePlan(fraction=0.25)
+        model = ClientNetworkModel.uniform(24)
+        from repro.failures.injection import FailureInjector
+
+        cluster = Cluster(model, flat(1.0), seed=9)
+        victims = FailureInjector(cluster).apply(plan)
+        faults = compile_faults(24, 9, failure=plan)
+        assert faults.failed_nodes() == sorted(victims)
+
+    def test_dead_links_replay_the_gray_injector(self) -> None:
+        from repro.experiments.scenarios import flat_factory as flat
+        from repro.failures.gray import GrayFailureInjector, GrayFailurePlan
+        from repro.megasim.adapter import compile_faults
+        from repro.runtime.cluster import Cluster
+
+        plan = GrayFailurePlan(
+            lossy_link_fraction=0.2, link_loss_probability=1.0
+        )
+        model = ClientNetworkModel.uniform(16)
+        cluster = Cluster(model, flat(1.0), seed=4)
+        applied = GrayFailureInjector(cluster).apply(plan)
+        faults = compile_faults(16, 4, gray=plan)
+        keys = sorted(int(a) * 16 + int(b) for a, b in applied.lossy_links)
+        assert faults.drop_keys.tolist() == keys
+        # Exactly those links are dropped by the mask, nothing else.
+        src = np.repeat(np.arange(16, dtype=np.int32), 16)
+        dst = np.tile(np.arange(16, dtype=np.int32), 16)
+        keep = faults.deliver_mask(src, dst, None)
+        dropped = {
+            (int(a), int(b)) for a, b in zip(src[~keep], dst[~keep])
+        }
+        assert dropped == set(applied.lossy_links)
+
+    def test_unsupported_gray_fields_are_named(self) -> None:
+        from repro.failures.gray import GrayFailurePlan
+        from repro.megasim.adapter import UnsupportedFaultError, compile_faults
+
+        with pytest.raises(UnsupportedFaultError, match="spec.gray.slow_fraction"):
+            compile_faults(8, 0, gray=GrayFailurePlan(slow_fraction=0.5))
+        with pytest.raises(
+            UnsupportedFaultError, match="spec.gray.flappy_fraction"
+        ):
+            compile_faults(8, 0, gray=GrayFailurePlan(flappy_fraction=0.5))
+
+    def test_fractional_links_refused_above_enumeration_limit(self) -> None:
+        from repro.failures.gray import GrayFailurePlan
+        from repro.megasim.adapter import (
+            LINK_ENUMERATION_LIMIT,
+            UnsupportedFaultError,
+            compile_faults,
+        )
+
+        plan = GrayFailurePlan(
+            lossy_link_fraction=0.5, link_loss_probability=1.0
+        )
+        with pytest.raises(UnsupportedFaultError, match="lossy_link_fraction"):
+            compile_faults(LINK_ENUMERATION_LIMIT + 1, 0, gray=plan)
+        # The uniform (fraction >= 1.0) form scales to any n: no
+        # enumeration happens, only a probability.
+        from repro.megasim.adapter import compile_faults as cf
+
+        scaled = cf(
+            LINK_ENUMERATION_LIMIT + 1,
+            0,
+            gray=GrayFailurePlan(
+                lossy_link_fraction=1.0, link_loss_probability=0.05
+            ),
+        )
+        assert scaled.loss_probability == 0.05
+        assert scaled.lossy_keys is None
+
+    def test_bernoulli_mask_draws_only_from_the_given_rng(self) -> None:
+        from repro.failures.gray import GrayFailurePlan
+        from repro.megasim.adapter import compile_faults
+
+        faults = compile_faults(
+            8,
+            0,
+            gray=GrayFailurePlan(
+                lossy_link_fraction=1.0, link_loss_probability=0.5
+            ),
+        )
+        assert faults.needs_rng
+        src = np.repeat(np.arange(8, dtype=np.int32), 8)
+        dst = np.tile(np.arange(8, dtype=np.int32), 8)
+        a = faults.deliver_mask(src, dst, np.random.default_rng(1))
+        b = faults.deliver_mask(src, dst, np.random.default_rng(1))
+        c = faults.deliver_mask(src, dst, np.random.default_rng(2))
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+        with pytest.raises(ValueError, match="loss RNG"):
+            faults.deliver_mask(src, dst, None)

@@ -58,6 +58,41 @@ def test_view_degree_flag(capsys) -> None:
     assert json.loads(capsys.readouterr().out)["delivery_ratio"] > 0.9
 
 
+def test_loss_flag_engages_recovery(capsys) -> None:
+    """--loss feeds a uniform Bernoulli plan through to the kernel and
+    the retry counter proves the recovery machinery actually ran."""
+    code = main(
+        [
+            "--nodes", "80", "--strategy", "ttl", "--eager-rounds", "2",
+            "--topology", "uniform", "--loss", "0.2", "--json",
+        ]
+    )
+    assert code == 0
+    row = json.loads(capsys.readouterr().out)
+    assert row["failed_nodes"] == 0
+    assert row["retries"] > 0
+    assert row["delivery_ratio"] > 0.95
+
+
+def test_fail_fraction_reports_failed_nodes(capsys) -> None:
+    code = main(
+        [
+            "--nodes", "80", "--strategy", "eager",
+            "--topology", "uniform", "--fail-fraction", "0.25", "--json",
+        ]
+    )
+    assert code == 0
+    row = json.loads(capsys.readouterr().out)
+    assert row["failed_nodes"] == 20
+    # Coverage is normalised to the alive population.
+    assert row["delivery_ratio"] == pytest.approx(1.0)
+
+
+def test_loss_out_of_range_exits() -> None:
+    with pytest.raises(SystemExit, match="--loss out of range"):
+        main(["--nodes", "32", "--loss", "1.5"])
+
+
 def test_every_strategy_choice_builds_a_factory() -> None:
     parser = build_parser()
     for name in ("eager", "lazy", "flat", "ttl", "radius", "ranked", "hybrid"):
