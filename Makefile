@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-core bench-megasim lint evaluate evaluate-quick figures clean
+.PHONY: install test bench bench-core bench-megasim lint lint-streams evaluate evaluate-quick figures clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -35,6 +35,14 @@ lint:
 		then ruff check .; else echo "ruff not installed; skipping"; fi
 	@if $(PYTHON) -c 'import mypy' 2>/dev/null; \
 		then $(PYTHON) -m mypy; else echo "mypy not installed; skipping"; fi
+
+# Regenerate the pinned RNG stream manifest and show what changed.
+# tests/lint/test_stream_manifest.py pins this file, so an intentional
+# stream addition/rename is: run this target, review the diff, commit.
+lint-streams:
+	PYTHONPATH=src $(PYTHON) -m repro.lint --streams src/repro > tests/lint/data/stream_manifest.json
+	git diff --stat --exit-code tests/lint/data/stream_manifest.json \
+		|| echo "stream manifest updated; review the diff above"
 
 # Paper-scale regeneration of every table and figure (several minutes).
 evaluate:

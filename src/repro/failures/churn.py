@@ -23,9 +23,12 @@ of two O(n) rebuilds of the alive list.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.sim.timers import PeriodicTimer
+
+if TYPE_CHECKING:
+    from repro.runtime.cluster import Cluster
 
 
 @dataclass(frozen=True)
@@ -47,7 +50,9 @@ class ChurnConfig:
 class ChurnProcess:
     """Drives silences/revivals on a cluster's fabric."""
 
-    def __init__(self, cluster, config: Optional[ChurnConfig] = None) -> None:
+    def __init__(
+        self, cluster: "Cluster", config: Optional[ChurnConfig] = None
+    ) -> None:
         self.cluster = cluster
         self.config = config or ChurnConfig()
         self._rng = cluster.sim.rng.stream("failures.churn")

@@ -24,10 +24,14 @@ any other component's randomness.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.network.fabric import LinkProfile
+
+if TYPE_CHECKING:
+    from repro.runtime.cluster import Cluster
 
 
 @dataclass(frozen=True)
@@ -83,7 +87,9 @@ class AppliedGrayFailures:
 class GrayFailureInjector:
     """Applies :class:`GrayFailurePlan` to a cluster's fabric."""
 
-    def __init__(self, cluster, rng=None) -> None:
+    def __init__(
+        self, cluster: "Cluster", rng: Optional[random.Random] = None
+    ) -> None:
         self.cluster = cluster
         self._rng = rng or cluster.sim.rng.stream("failures.gray")
         self.applied: Optional[AppliedGrayFailures] = None

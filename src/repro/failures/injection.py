@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.runtime.cluster import Cluster
 
 
 @dataclass(frozen=True)
@@ -35,7 +38,9 @@ class FailurePlan:
 class FailureInjector:
     """Applies failure plans to a cluster's fabric."""
 
-    def __init__(self, cluster, rng: Optional[random.Random] = None) -> None:
+    def __init__(
+        self, cluster: "Cluster", rng: Optional[random.Random] = None
+    ) -> None:
         self.cluster = cluster
         self._rng = rng or cluster.sim.rng.stream("failures")
         self.failed: List[int] = []
@@ -53,7 +58,7 @@ class FailureInjector:
             already_failed = set(self.failed)
             ranked = [
                 n
-                for n in plan.ranked_nodes
+                for n in plan.ranked_nodes or ()
                 if n in population_set and n not in already_failed
             ]
             victims = list(ranked[:count])

@@ -4,7 +4,10 @@ Exit codes follow the compiler convention: 0 clean, 1 findings reported,
 2 usage or I/O error.  ``--format json`` emits the finding list as a
 JSON array for CI annotation tooling; ``--write-baseline`` records the
 current findings as grandfathered so a gate can be turned on before a
-cleanup lands.
+cleanup lands; ``--streams`` prints the generated RNG stream manifest
+(sorted JSON of every statically resolvable stream key pattern and its
+call sites) instead of linting -- the copy pinned under ``tests/lint``
+makes any new or renamed stream review-visible.
 """
 
 from __future__ import annotations
@@ -16,7 +19,13 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.lint.baseline import Baseline
-from repro.lint.engine import LintError, lint_paths, select_rules
+from repro.lint.engine import (
+    LintError,
+    collect_facts,
+    lint_paths,
+    select_rules,
+    stream_manifest,
+)
 from repro.lint.findings import Finding
 from repro.lint.rules import RULES
 
@@ -38,8 +47,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--root",
-        default=".",
-        help="directory finding paths are reported relative to",
+        default=None,
+        help=(
+            "directory finding paths are reported relative to "
+            "(default: the auto-detected repository root, so output is "
+            "byte-identical regardless of the invocation directory)"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -67,7 +80,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--streams",
+        action="store_true",
+        help=(
+            "print the generated RNG stream manifest (sorted JSON of "
+            "every stream key pattern and its call sites) and exit 0"
+        ),
+    )
     return parser
+
+
+def render_manifest(paths: Sequence[Path], root: Optional[Path]) -> str:
+    """The stream manifest for ``paths`` as canonical JSON text."""
+    facts = collect_facts(paths, root=root)
+    manifest = stream_manifest(facts)
+    return json.dumps(manifest, indent=2, sort_keys=True) + "\n"
 
 
 def _print_findings(findings: List[Finding], fmt: str) -> None:
@@ -101,12 +129,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    root = Path(args.root)
+    root = Path(args.root) if args.root is not None else None
     paths = [Path(p) for p in args.paths]
     missing = [str(p) for p in paths if not p.exists()]
     if missing:
         print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
+
+    if args.streams:
+        try:
+            print(render_manifest(paths, root), end="")
+        except LintError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
 
     baseline: Optional[Baseline] = None
     baseline_path = Path(args.baseline) if args.baseline else None

@@ -2,9 +2,12 @@
 
 A :class:`Finding` pins a rule violation to an exact source location and
 carries everything a reporter (CLI text, JSON, pytest assertion message)
-or the baseline filter needs.  Findings are frozen and totally ordered so
-reports are stable across runs and platforms -- the linter itself obeys
-the determinism discipline it enforces.
+or the baseline filter needs.  Project-scope rules (DET010 stream-name
+collisions and friends) span files, so a finding optionally carries
+``related`` secondary locations alongside its primary one.  Findings are
+frozen and totally ordered so reports are stable across runs and
+platforms -- the linter itself obeys the determinism discipline it
+enforces.
 """
 
 from __future__ import annotations
@@ -19,14 +22,40 @@ SEVERITIES = ("error", "warning")
 
 
 @dataclass(frozen=True, order=True)
+class Location:
+    """A secondary source location attached to a multi-site finding."""
+
+    path: str
+    line: int
+    col: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"path": self.path, "line": self.line, "col": self.col}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Location":
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data.get("col", 0)),
+        )
+
+
+@dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation anchored at one primary source location.
+
+    ``related`` lists the other call sites of a project-scope finding
+    (e.g. the second half of a stream-name collision), sorted; per-file
+    rules leave it empty.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    related: Tuple[Location, ...] = ()
     severity: str = field(default="error", compare=False)
 
     def __post_init__(self) -> None:
@@ -40,9 +69,27 @@ class Finding:
         """Identity used for baseline matching.
 
         Deliberately excludes the line/column so grandfathered findings
-        survive unrelated edits that shift code up or down a file.
+        survive unrelated edits that shift code up or down a file.  A
+        multi-site finding keys on its primary path plus the related
+        paths folded into the message-independent third component -- see
+        :meth:`baseline_message`.
         """
-        return (self.rule, self.path, self.message)
+        return (self.rule, self.path, self.baseline_message)
+
+    @property
+    def baseline_message(self) -> str:
+        """The message extended with the related *paths* (never lines),
+        so two distinct cross-file collisions that happen to share a
+        primary site and message still key apart in a baseline."""
+        if not self.related:
+            return self.message
+        others = ",".join(sorted({loc.path for loc in self.related}))
+        return f"{self.message} [with {others}]"
+
+    @property
+    def locations(self) -> Tuple[Location, ...]:
+        """Primary location followed by the related ones."""
+        return (Location(self.path, self.line, self.col),) + self.related
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -51,6 +98,7 @@ class Finding:
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
+            "related": [loc.to_dict() for loc in self.related],
             "severity": self.severity,
         }
 
@@ -62,9 +110,19 @@ class Finding:
             col=int(data.get("col", 0)),
             rule=str(data["rule"]),
             message=str(data["message"]),
+            related=tuple(
+                Location.from_dict(loc) for loc in data.get("related", [])
+            ),
             severity=str(data.get("severity", "error")),
         )
 
     def render(self) -> str:
-        """``path:line:col: RULE message`` -- the grep-friendly text form."""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        """``path:line:col: RULE message`` -- the grep-friendly text
+        form; related sites follow indented, one per line."""
+        head = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if not self.related:
+            return head
+        tail = "\n".join(
+            f"    also: {loc.path}:{loc.line}:{loc.col}" for loc in self.related
+        )
+        return f"{head}\n{tail}"

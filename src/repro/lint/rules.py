@@ -1,10 +1,14 @@
-"""The determinism rule set (DET001..DET006).
+"""The determinism rule set: per-file DET001..DET006, project-scope
+DET010..DET012 and VEC001..VEC004.
 
-Each rule is an AST pass over one module.  Rules resolve imported names
-through the module's import table, so ``from time import perf_counter``
-and ``import time as t`` are caught the same way as the plain spelling.
+The per-file rules are AST passes over one module.  Rules resolve
+imported names through the module's import table, so ``from time import
+perf_counter`` and ``import time as t`` are caught the same way as the
+plain spelling.  The project-scope rules consume the phase-1 facts of
+:mod:`repro.lint.facts` -- merged across every linted file -- so they
+can see whole-program invariants no single file reveals.
 
-Why these six rules exist: the reproduction's correctness story is the
+Why the per-file six exist: the reproduction's correctness story is the
 golden-trace harness -- every strategy's full event trace must be
 bit-identical across runs, machines and worker counts.  Each rule bans
 one way that property has historically been lost in discrete-event
@@ -23,6 +27,31 @@ simulators:
   hash-stable shape PR 3 standardised on.
 - **DET006** mutable default arguments are shared state across calls --
   a classic source of order-dependent behaviour.
+
+The stream-lineage family guards the `RandomStreams.derive_seed`
+discipline the vector tier's bit-exactness hangs on:
+
+- **DET010** the same resolved stream key derived from two distinct
+  ``(module, function)`` sites silently *correlates* subsystems that
+  believe they are independent.
+- **DET011** an RNG constructed from a constant or ambient seed sits
+  outside the root-seed lineage entirely.
+- **DET012** a literal (non-parameterized) key derived inside a loop or
+  per-index helper re-creates the *same* stream per iteration where an
+  ``{index}``-style f-string is required.
+
+The vectorization-safety family (scoped to ``repro.megasim``) bans the
+numpy idioms whose result depends on sort stability, first-occurrence
+bookkeeping or container iteration order:
+
+- **VEC001** ``argsort``/``sort`` without ``kind="stable"`` breaks ties
+  by implementation detail (``lexsort`` is stable by spec and passes).
+- **VEC002** the legacy process-global ``np.random.*`` API is the
+  vectorized twin of DET002.
+- **VEC003** treating a positional companion of ``np.unique`` as
+  first-occurrence indices requires ``return_index=True``.
+- **VEC004** a numpy operand built from set/dict iteration has
+  arbitrary element order (the vectorized twin of DET003).
 """
 
 from __future__ import annotations
@@ -30,7 +59,17 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.lint.findings import Finding
+from repro.lint.facts import (
+    FileFacts,
+    NumpySite,
+    StreamSite,
+    collect_facts_for_module,
+    dotted_name as _dotted,
+    import_table as _import_table,
+    in_scope as _in_scope,
+    resolve_name,
+)
+from repro.lint.findings import Finding, Location
 
 #: Modules (dotted-prefix match) that make up the deterministic sim core.
 #: DET004 applies only here: the experiment/metrics/CLI layers legitimately
@@ -67,73 +106,21 @@ class ModuleContext:
         self.tree = tree
         self.source = source
         self.aliases = _import_table(tree)
+        self._facts: Optional[FileFacts] = None
+
+    @property
+    def facts(self) -> FileFacts:
+        """The module's phase-1 facts, collected once on first use."""
+        if self._facts is None:
+            self._facts = collect_facts_for_module(
+                self.module, self.path, self.tree, self.aliases
+            )
+        return self._facts
 
 
-def _import_table(tree: ast.AST) -> Dict[str, str]:
-    """Map local names to the dotted origin they were imported as.
-
-    ``import time as t`` yields ``{"t": "time"}``;
-    ``from datetime import datetime as dt`` yields
-    ``{"dt": "datetime.datetime"}``.  Only top-level and function-level
-    imports are recorded; relative imports resolve to their bare module
-    text (good enough for stdlib detection, which is all we ban).
-    """
-    table: Dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for name in node.names:
-                local = name.asname or name.name.split(".")[0]
-                origin = name.name if name.asname else name.name.split(".")[0]
-                table[local] = origin
-        elif isinstance(node, ast.ImportFrom):
-            if node.module is None or node.level:
-                continue
-            for name in node.names:
-                if name.name == "*":
-                    continue
-                local = name.asname or name.name
-                table[local] = f"{node.module}.{name.name}"
-    return table
-
-
-def _dotted(node: ast.AST) -> Optional[str]:
-    """Render a Name/Attribute chain as ``a.b.c``, or None for anything
-    more dynamic (subscripts, calls, literals)."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def _resolve(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
-    """Dotted name of ``node`` with its head mapped through the import
-    table, e.g. ``dt.now`` -> ``datetime.datetime.now``."""
-    dotted = _dotted(node)
-    if dotted is None:
-        return None
-    head, _, rest = dotted.partition(".")
-    origin = aliases.get(head, head)
-    return f"{origin}.{rest}" if rest else origin
-
-
-def _in_scope(module: str, prefixes: Sequence[str]) -> bool:
-    """True when ``module`` falls under any dotted prefix.
-
-    A prefix ending in ``_`` is a *name* prefix (``bench_`` matches
-    ``bench_micro``); anything else matches the module itself or any
-    submodule.
-    """
-    for prefix in prefixes:
-        if prefix.endswith("_"):
-            if module.startswith(prefix) or module.split(".")[-1].startswith(prefix):
-                return True
-        elif module == prefix or module.startswith(prefix + "."):
-            return True
-    return False
+#: Shared AST helpers live in repro.lint.facts; the alias keeps the
+#: historical private name rules have always used.
+_resolve = resolve_name
 
 
 class Rule:
@@ -590,6 +577,308 @@ class MutableDefaultRule(Rule):
         return False
 
 
+#: Modules (dotted-prefix match) the vectorization-safety rules apply
+#: to: the struct-of-arrays scale tier, where every tie-break and
+#: operand ordering feeds a bit-exact differential against the event
+#: kernel.
+VECTOR_MODULES: Tuple[str, ...] = ("repro.megasim",)
+
+
+class ProjectRule(Rule):
+    """A rule over the merged project-wide fact set (phase 2).
+
+    The engine runs :meth:`check_project` once over every linted file's
+    facts.  :meth:`check` keeps the single-file entry points
+    (``lint_source``/``lint_file``) working by treating the one module
+    as a one-file project.
+    """
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        yield from self.check_project((ctx.facts,))
+
+    def check_project(
+        self, facts: Sequence[FileFacts]
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def site_finding(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        related: Tuple[Location, ...] = (),
+    ) -> Finding:
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
+            rule=self.rule_id,
+            message=message,
+            related=related,
+        )
+
+
+class StreamCollisionRule(ProjectRule):
+    """DET010: every resolved stream key must be globally unique.
+
+    Two modules both deriving ``"failures"`` receive the *same* seeded
+    generator sequence -- subsystems that believe they are independent
+    become bit-for-bit correlated, exactly the failure class the
+    loss-stream-independence tests probe dynamically.  Keys collide on
+    their normalised pattern (placeholders reduced to ``{}``), so
+    ``f"node.{i}"`` and ``f"node.{node}"`` are the same key; a key is a
+    collision when it is derived from two or more distinct
+    ``(module, function)`` sites (re-deriving within one function is a
+    legal idiom).
+    """
+
+    rule_id = "DET010"
+    summary = (
+        "stream key derived at multiple distinct (module, function) "
+        "sites; stream names must be globally unique"
+    )
+
+    def check_project(
+        self, facts: Sequence[FileFacts]
+    ) -> Iterator[Finding]:
+        by_key: Dict[str, List[StreamSite]] = {}
+        for file_facts in facts:
+            for site in file_facts.streams:
+                if site.dynamic:
+                    continue
+                by_key.setdefault(site.key, []).append(site)
+        for key in sorted(by_key):
+            sites = sorted(by_key[key])
+            owners = len({(s.module, s.function) for s in sites})
+            if owners < 2:
+                continue
+            primary = sites[0]
+            related = tuple(
+                Location(s.path, s.line, s.col) for s in sites[1:]
+            )
+            yield self.site_finding(
+                primary.path,
+                primary.line,
+                primary.col,
+                f'stream key "{primary.pattern}" is derived from {owners} '
+                "distinct functions; a shared key silently correlates "
+                "subsystems that expect independent streams",
+                related=related,
+            )
+
+
+class RngLineageRule(ProjectRule):
+    """DET011: every RNG must descend from the root-seed lineage.
+
+    A generator seeded with a literal constant, with ambient process
+    state (wall clock, entropy pool) or with nothing at all sits outside
+    ``RandomStreams.derive_seed``/``spawn`` entirely: constants correlate
+    every instance built from the same literal, ambient values make the
+    trace unreplayable.  Seeds that provably flow from a
+    ``derive_seed``/``spawn`` call (directly or through a same-scope
+    local, as in DET003's dataflow) pass; parameters and other untracked
+    expressions are given the benefit of the doubt.
+    """
+
+    rule_id = "DET011"
+    summary = (
+        "RNG constructed from a constant or ambient seed instead of a "
+        "derive_seed/spawn lineage"
+    )
+
+    _REASONS = {
+        "constant": "is seeded with a literal constant",
+        "ambient": "is seeded from ambient process state",
+        "missing": "is constructed without a seed (OS-entropy seeded)",
+    }
+
+    def check_project(
+        self, facts: Sequence[FileFacts]
+    ) -> Iterator[Finding]:
+        for file_facts in facts:
+            for site in file_facts.rngs:
+                reason = self._REASONS.get(site.lineage)
+                if reason is None:
+                    continue
+                yield self.site_finding(
+                    site.path,
+                    site.line,
+                    site.col,
+                    f"{site.constructor}() {reason}; derive the seed "
+                    "from RandomStreams.derive_seed/spawn so the "
+                    "generator joins the root-seed lineage",
+                )
+
+
+class UnparameterizedStreamRule(ProjectRule):
+    """DET012: stream keys derived per iteration must embed the index.
+
+    A literal key inside a loop (or inside a per-index helper -- a
+    function taking an ``index``-like parameter) re-derives the *same*
+    stream on every iteration, so logically independent draws share one
+    sequence.  The fix is an ``{index}``-style f-string, as in
+    ``megasim.message.{index}``.
+    """
+
+    rule_id = "DET012"
+    summary = (
+        "literal stream key derived inside a loop or per-index helper; "
+        "parameterize it with the index"
+    )
+
+    def check_project(
+        self, facts: Sequence[FileFacts]
+    ) -> Iterator[Finding]:
+        for file_facts in facts:
+            for site in file_facts.streams:
+                if site.dynamic or site.parameterized:
+                    continue
+                if site.in_loop:
+                    where = "inside a loop"
+                elif site.index_param:
+                    where = (
+                        f"in per-index helper {site.function}() "
+                        f"(parameter {site.index_param!r})"
+                    )
+                else:
+                    continue
+                placeholder = site.index_param or "index"
+                yield self.site_finding(
+                    site.path,
+                    site.line,
+                    site.col,
+                    f'literal stream key "{site.pattern}" derived {where} '
+                    "re-creates the same stream per iteration; "
+                    f'parameterize it (f"{site.pattern}.{{{placeholder}}}")',
+                )
+
+
+class _VectorRule(ProjectRule):
+    """Base for the vectorization-safety family: scoped to the numpy
+    scale tier, judged from the collected numpy call facts."""
+
+    def check_project(
+        self, facts: Sequence[FileFacts]
+    ) -> Iterator[Finding]:
+        for file_facts in facts:
+            if not _in_scope(file_facts.module, VECTOR_MODULES):
+                continue
+            for site in file_facts.numpy:
+                finding = self.check_site(site)
+                if finding is not None:
+                    yield finding
+
+    def check_site(self, site: NumpySite) -> Optional[Finding]:
+        raise NotImplementedError
+
+
+class UnstableSortRule(_VectorRule):
+    """VEC001: ``argsort``/``sort`` must pin ``kind="stable"``.
+
+    The default introsort breaks ties by implementation detail; any
+    tie-break that feeds winner selection must preserve input order.
+    ``np.lexsort`` is stable by specification and passes as-is.
+    """
+
+    rule_id = "VEC001"
+    summary = 'numpy sort/argsort without kind="stable"'
+
+    def check_site(self, site: NumpySite) -> Optional[Finding]:
+        if site.op not in ("sort", "argsort") or site.stable:
+            return None
+        return self.site_finding(
+            site.path,
+            site.line,
+            site.col,
+            f'{site.func}() without kind="stable" breaks ties in '
+            "implementation-defined order; pass kind=\"stable\" so equal "
+            "keys keep their input order",
+        )
+
+
+class LegacyNumpyRandomRule(_VectorRule):
+    """VEC002: the legacy global ``np.random.*`` API is banned.
+
+    ``np.random.seed``/``rand``/``randint``/... share one hidden global
+    generator, the vectorized twin of DET002.  Only the explicitly
+    seeded constructors (``default_rng``, ``Generator``, bit
+    generators, ``SeedSequence``) are allowed.
+    """
+
+    rule_id = "VEC002"
+    summary = "call into the legacy global numpy.random API"
+
+    def check_site(self, site: NumpySite) -> Optional[Finding]:
+        if site.op != "legacy-random":
+            return None
+        return self.site_finding(
+            site.path,
+            site.line,
+            site.col,
+            f"{site.func}() draws from numpy's process-global legacy "
+            "generator; use numpy.random.default_rng(derive_seed(...)) "
+            "streams instead",
+        )
+
+
+class UniquePositionalRule(_VectorRule):
+    """VEC003: positional companions of ``np.unique`` need
+    ``return_index=True``.
+
+    ``np.unique`` returns optional companion arrays in flag order; code
+    that unpacks a companion and uses it as a subscript index is
+    selecting *positions*, which is only first-occurrence-correct when
+    ``return_index=True`` was actually requested (otherwise the
+    companion is an inverse or a count array, silently wrong as an
+    index).
+    """
+
+    rule_id = "VEC003"
+    summary = (
+        "np.unique companion used for positional selection without "
+        "return_index=True"
+    )
+
+    def check_site(self, site: NumpySite) -> Optional[Finding]:
+        if site.op != "unique" or site.return_index or not site.positional_use:
+            return None
+        return self.site_finding(
+            site.path,
+            site.line,
+            site.col,
+            "a positional companion of numpy.unique() is used as a "
+            "subscript index but return_index=True was not requested; "
+            "first-occurrence selection must ask for the index array "
+            "explicitly",
+        )
+
+
+class SetOperandRule(_VectorRule):
+    """VEC004: numpy operands must not be built from set/dict iteration.
+
+    ``np.array(some_set)`` (or a ``list()``-laundered set, or a dict
+    view) materialises elements in arbitrary hash order; any mask or
+    reduction built from it inherits that order.  The vectorized twin of
+    DET003 -- sort the elements first.
+    """
+
+    rule_id = "VEC004"
+    summary = "numpy operand built from unordered set/dict iteration"
+
+    def check_site(self, site: NumpySite) -> Optional[Finding]:
+        if site.op != "set-operand":
+            return None
+        return self.site_finding(
+            site.path,
+            site.line,
+            site.col,
+            f"{site.func}() operand is built from unordered set/dict "
+            "iteration, so element order varies per process; wrap the "
+            "elements in sorted(...) first",
+        )
+
+
 #: The registry, in rule-id order.  The CLI, the pytest gate and the CI
 #: job all consume this single list.
 RULES: Tuple[Rule, ...] = (
@@ -599,6 +888,13 @@ RULES: Tuple[Rule, ...] = (
     EnvironmentReadRule(),
     UnfrozenFactoryRule(),
     MutableDefaultRule(),
+    StreamCollisionRule(),
+    RngLineageRule(),
+    UnparameterizedStreamRule(),
+    UnstableSortRule(),
+    LegacyNumpyRandomRule(),
+    UniquePositionalRule(),
+    SetOperandRule(),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in RULES}

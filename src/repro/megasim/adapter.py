@@ -405,7 +405,9 @@ def _replay_crash_victims(n: int, seed: int, plan: FailurePlan) -> List[int]:
     count = int(round(plan.fraction * n))
     if count == 0:
         return []
-    rng = random.Random(RandomStreams(seed).derive_seed("failures"))
+    # Key shared with FailureInjector BY DESIGN: fault parity requires
+    # replaying the event kernel's victim draws bit for bit.
+    rng = random.Random(RandomStreams(seed).derive_seed("failures"))  # noqa: DET010
     population = list(range(n))
     if plan.target == "random":
         return list(rng.sample(population, count))
@@ -428,7 +430,8 @@ def _replay_lossy_links(
     sample that precedes it in the injector is empty here -- compiled
     plans reject ``slow_fraction`` -- so the link draw is the stream's
     first)."""
-    rng = random.Random(RandomStreams(seed).derive_seed("failures.gray"))
+    # Key shared with GrayFailureInjector BY DESIGN: same replay contract.
+    rng = random.Random(RandomStreams(seed).derive_seed("failures.gray"))  # noqa: DET010
     links = [(a, b) for a in range(n) for b in range(n) if a != b]
     count = int(round(plan.lossy_link_fraction * len(links)))
     if count == 0:

@@ -200,7 +200,7 @@ def _sample_without_replacement(
     if k == 1:
         return draws
     while True:
-        ordered = np.sort(draws, axis=1)
+        ordered = np.sort(draws, axis=1, kind="stable")
         bad = (ordered[:, 1:] == ordered[:, :-1]).any(axis=1)
         if not bad.any():
             return draws

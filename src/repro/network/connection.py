@@ -45,7 +45,9 @@ class ConnectionBuffer:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.policy = policy
-        self._rng = rng or random.Random(0)
+        # Standalone/unit-test fallback only: the sim wires every buffer
+        # to the shared "network.connections" stream (see transport.py).
+        self._rng = rng or random.Random(0)  # noqa: DET011
         self._queue: Deque[Packet] = deque()
         self.purged_count = 0
 

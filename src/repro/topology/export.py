@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Any, Dict, Union
 
 from repro.topology.geometry import Point
 from repro.topology.routing import ClientNetworkModel
@@ -25,7 +25,9 @@ FORMAT_NAME = "repro-client-model"
 FORMAT_VERSION = 1
 
 
-def model_to_dict(model: ClientNetworkModel, provenance: str = "") -> dict:
+def model_to_dict(
+    model: ClientNetworkModel, provenance: str = ""
+) -> Dict[str, Any]:
     """Serializable representation of a client network model."""
     return {
         "format": FORMAT_NAME,
@@ -38,7 +40,7 @@ def model_to_dict(model: ClientNetworkModel, provenance: str = "") -> dict:
     }
 
 
-def model_from_dict(data: dict) -> ClientNetworkModel:
+def model_from_dict(data: Dict[str, Any]) -> ClientNetworkModel:
     """Inverse of :func:`model_to_dict`; validates the header."""
     if data.get("format") != FORMAT_NAME:
         raise ValueError(f"not a {FORMAT_NAME} document: {data.get('format')!r}")

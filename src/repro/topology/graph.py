@@ -10,7 +10,7 @@ on the hot path when building latency matrices for large topologies.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.topology.geometry import Point
 
@@ -60,7 +60,9 @@ class RouterTopology:
         self.adjacency[a].append((b, latency))
         self.adjacency[b].append((a, latency))
 
-    def scale_latencies(self, factor: float, kinds: Optional[set] = None) -> None:
+    def scale_latencies(
+        self, factor: float, kinds: Optional[Set[NodeKind]] = None
+    ) -> None:
         """Multiply link latencies by ``factor``.
 
         When ``kinds`` is given, only links whose *both* endpoints are of

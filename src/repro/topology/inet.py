@@ -335,6 +335,7 @@ def _calibrate(
     if router_part <= 0:  # pragma: no cover - degenerate topologies
         return 1.0, None
     target = params.target_mean_latency_ms
+    assert target is not None  # _calibrate only runs when a target is set
     factor = (target - access_part) / router_part
     if factor <= 0:
         raise ValueError(

@@ -15,10 +15,13 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.topology.geometry import Point, euclidean
 from repro.topology.graph import RouterTopology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.topology.inet import InetTopology
 
 _INF = float("inf")
 
@@ -218,14 +221,14 @@ class ClientNetworkModel:
         return cls(latency_ms, hop_matrix, positions)
 
     @classmethod
-    def from_inet(cls, inet_topology) -> "ClientNetworkModel":
+    def from_inet(cls, inet_topology: "InetTopology") -> "ClientNetworkModel":
         """Build from a :class:`repro.topology.inet.InetTopology`.
 
         Calibrated topologies carry the model derived from their
         calibration sweep; reuse it rather than re-running a full
         Dijkstra sweep per client.
         """
-        model = getattr(inet_topology, "model", None)
+        model = inet_topology.model
         if model is not None:
             return model
         return cls.from_topology(inet_topology.graph, inet_topology.client_ids)

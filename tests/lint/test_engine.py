@@ -41,6 +41,18 @@ def test_noqa_with_multiple_codes():
     assert lint_source(source) == []
 
 
+def test_multi_code_noqa_suppresses_each_rule_independently():
+    # "# noqa: DET001,DET002" is a set of codes, not an all-or-nothing
+    # unit: listing only one code lets exactly the other rule through.
+    line = "x = time.time() + random.random()"
+    both = f"import time, random\n{line}  # noqa: DET001,DET002\n"
+    only_001 = f"import time, random\n{line}  # noqa: DET001\n"
+    only_002 = f"import time, random\n{line}  # noqa: DET002\n"
+    assert lint_source(both) == []
+    assert [f.rule for f in lint_source(only_001)] == ["DET002"]
+    assert [f.rule for f in lint_source(only_002)] == ["DET001"]
+
+
 def test_noqa_is_case_insensitive():
     assert lint_source("import time\nx = time.time()  # NOQA: det001\n") == []
 

@@ -1,0 +1,117 @@
+"""Properties the linter holds itself to.
+
+The linter gates the determinism of everything else, so it must be
+deterministic about its own inputs: permuting (or duplicating) the
+``lint_paths`` argument list cannot change the output, and the reported
+paths cannot depend on the directory the linter was invoked from.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Four fixture files with a spread of per-file and project findings:
+#: DET001, DET011, a DET010 collision spanning files 0 and 2, and one
+#: clean file.
+FIXTURES = (
+    "import time\nx = time.time()\n"
+    "def build_a(streams):\n"
+    '    return streams.stream("shared")\n',
+    "import random\nrng = random.Random(3)\n",
+    "def build_b(streams):\n"
+    '    return streams.stream("shared")\n',
+    "def clean(streams):\n"
+    '    return streams.stream("mine")\n',
+)
+
+
+@pytest.fixture(scope="module")
+def fixture_tree(tmp_path_factory):
+    root = tmp_path_factory.mktemp("lintprop")
+    # A repo marker so the CLI's auto-detected root is this tree, not
+    # whatever encloses pytest's tmp directory.
+    (root / "pyproject.toml").write_text("", encoding="utf-8")
+    pkg = root / "src" / "repro"
+    pkg.mkdir(parents=True)
+    files = []
+    for index, source in enumerate(FIXTURES):
+        path = pkg / f"fixture_{index}.py"
+        path.write_text(source, encoding="utf-8")
+        files.append(path)
+    return root, files
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_lint_paths_is_order_invariant(fixture_tree, data):
+    root, files = fixture_tree
+    baseline_findings = lint_paths(files, root=root)
+    assert baseline_findings, "fixtures must produce findings to compare"
+    shuffled = data.draw(st.permutations(files))
+    assert lint_paths(shuffled, root=root) == baseline_findings
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_lint_paths_ignores_duplicate_entries(fixture_tree, data):
+    root, files = fixture_tree
+    baseline_findings = lint_paths(files, root=root)
+    extras = data.draw(
+        st.lists(st.sampled_from(files), min_size=1, max_size=4)
+    )
+    shuffled = data.draw(st.permutations(list(files) + extras))
+    assert lint_paths(shuffled, root=root) == baseline_findings
+
+
+def test_mixed_directory_and_file_listing_is_stable(fixture_tree):
+    root, files = fixture_tree
+    pkg = files[0].parent
+    # Listing the directory, the files, or both must all agree.
+    assert (
+        lint_paths([pkg], root=root)
+        == lint_paths(files, root=root)
+        == lint_paths([pkg, *files], root=root)
+    )
+
+
+def _run_lint(cwd: Path, *argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *argv],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+
+
+def test_json_output_is_byte_identical_across_invocation_dirs(fixture_tree):
+    root, files = fixture_tree
+    pkg = files[0].parent
+    from_root = _run_lint(root, "--format", "json", str(pkg))
+    from_inside = _run_lint(pkg, "--format", "json", str(pkg))
+    from_elsewhere = _run_lint(REPO_ROOT, "--format", "json", str(pkg))
+    assert from_root.returncode == 1
+    assert from_root.stdout == from_inside.stdout == from_elsewhere.stdout
+    assert '"src/repro/fixture_0.py"' in from_root.stdout
+
+
+def test_stream_manifest_is_byte_identical_across_invocation_dirs(
+    fixture_tree,
+):
+    root, files = fixture_tree
+    pkg = files[0].parent
+    from_root = _run_lint(root, "--streams", str(pkg))
+    from_inside = _run_lint(pkg, "--streams", str(pkg))
+    assert from_root.returncode == from_inside.returncode == 0
+    assert from_root.stdout == from_inside.stdout
+    assert '"src/repro/fixture_0.py"' in from_root.stdout

@@ -90,18 +90,20 @@ class TestGlobalRandom:
         ) == ["DET002"]
 
     def test_seeded_instance_is_clean(self):
+        # An instance is never a *global-random* violation (DET002); the
+        # literal seed itself is DET011's business.
         source = (
             "import random\n"
             "rng = random.Random(42)\n"
             "x = rng.randint(1, 6)\n"
             "rng.shuffle([1, 2])\n"
         )
-        assert rules_of(source) == []
+        assert rules_of(source) == ["DET011"]
 
     def test_from_import_random_class_is_clean(self):
         assert rules_of(
             "from random import Random\nrng = Random(7)\nx = rng.random()\n"
-        ) == []
+        ) == ["DET011"]
 
     def test_annotation_use_is_clean(self):
         source = (

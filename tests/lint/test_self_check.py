@@ -30,7 +30,7 @@ def test_every_rule_has_an_id_and_summary():
     ids = [rule.rule_id for rule in RULES]
     assert ids == sorted(ids) and len(set(ids)) == len(ids)
     for rule in RULES:
-        assert rule.rule_id.startswith("DET")
+        assert rule.rule_id.startswith(("DET", "VEC"))
         assert rule.summary
 
 
