@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-core bench-megasim lint lint-streams evaluate evaluate-quick figures clean
+.PHONY: install test bench bench-core bench-megasim bench-megasim-multi lint lint-streams evaluate evaluate-quick figures clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -26,6 +26,12 @@ bench-core:
 # results/BENCH_MEGASIM.json (requires the `vector` extra / numpy).
 bench-megasim:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_megasim.py --benchmark-only -q
+
+# Just the multi-message dispatch gate: arena (worker-resident shared
+# environment) must be >= 3x over the ship-topology-per-task baseline.
+bench-megasim-multi:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_megasim.py --benchmark-only -q \
+		-k multi_message
 
 # Static analysis: the determinism linter always runs; ruff/mypy run
 # when installed (CI installs both; the minimal dev container may not).

@@ -8,6 +8,14 @@ and records throughput (node-deliveries per second) plus peak resident
 set size to ``results/BENCH_MEGASIM.json``.  Full coverage is asserted,
 so the recorded rate is for *completed* epidemics, not truncated ones.
 
+The multi-message cell is the zero-copy dispatch gate: the same
+environment (plane positions + a wide partial-view matrix) is run for
+32 messages through both fan-out modes, and the arena path's aggregate
+node-deliveries/s must be at least ``MULTI_MIN_SPEEDUP`` times the
+ship-topology-per-task pickle baseline.  The assertion is in-process
+and blocking -- a regression that re-fattens the task payloads fails
+the benchmark suite, not just a dashboard.
+
 Wall-clock use is confined to benchmarks (see the determinism linter's
 allowlist); simulated results themselves are timing-free.
 """
@@ -27,7 +35,9 @@ np = pytest.importorskip("numpy")
 from benchmarks.conftest import run_once
 from repro.experiments.scenarios import flat_factory, ttl_factory
 from repro.failures.gray import GrayFailurePlan
-from repro.megasim.runner import MegasimSpec, run_megasim
+from repro.megasim.adapter import build_views
+from repro.megasim.runner import MegasimSpec, build_topology, run_megasim
+from repro.sim.rng import RandomStreams
 
 RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_MEGASIM.json"
 
@@ -45,6 +55,16 @@ STRATEGIES = {
     "ttl_2": (ttl_factory(2), None),
     "ttl_2_loss5": (ttl_factory(2), LOSS_5),
 }
+
+#: Multi-message dispatch gate: enough messages that per-task overhead
+#: dominates any one-time cost, a view matrix wide enough (100k x 192
+#: int32 = ~77 MB) that shipping it per task is clearly visible, and
+#: the worker count the issue gates on.  Results are byte-identical
+#: across modes (tests/megasim/test_dispatch.py); only time differs.
+MULTI_MESSAGES = 32
+MULTI_VIEW_DEGREE = 192
+MULTI_WORKERS = 4
+MULTI_MIN_SPEEDUP = 3.0
 
 
 def _spec(factory, gray) -> MegasimSpec:
@@ -92,6 +112,66 @@ def _measure() -> Dict[str, object]:
     return rows
 
 
+def _record(update: Dict[str, object]) -> None:
+    """Merge one cell's rows into the results file.
+
+    The single-message and multi-message cells are separate benchmark
+    tests; each owns its top-level keys so a partial run never clobbers
+    the other cell's numbers.
+    """
+    document: Dict[str, object] = {}
+    if RESULTS.exists():
+        document = json.loads(RESULTS.read_text())
+    document.update(update)
+    document["peak_rss_mb"] = round(_peak_rss_mb(), 1)
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def _measure_multi() -> Dict[str, object]:
+    spec = MegasimSpec(
+        strategy_factory=flat_factory(1.0),
+        nodes=NODES,
+        fanout=11,
+        messages=MULTI_MESSAGES,
+        seed=SEED,
+        topology="plane",
+        view_degree=MULTI_VIEW_DEGREE,
+    )
+    # Build the environment once, outside the timed region, and hand the
+    # *same* arrays to both legs: the comparison times dispatch, not
+    # topology/view construction.
+    topology = build_topology(spec)
+    views = build_views(
+        spec.nodes,
+        MULTI_VIEW_DEGREE,
+        np.random.default_rng(
+            RandomStreams(spec.seed).derive_seed("megasim.views")
+        ),
+    )
+    rows: Dict[str, object] = {}
+    for mode in ("arena", "pickle"):
+        started = time.perf_counter()
+        result = run_megasim(
+            spec,
+            workers=MULTI_WORKERS,
+            topology=topology,
+            views=views,
+            dispatch=mode,
+        )
+        elapsed = time.perf_counter() - started
+        deliveries = NODES * MULTI_MESSAGES
+        assert result.summary.delivery_ratio >= 0.9999, (
+            f"{mode} dispatch did not converge"
+        )
+        rows[mode] = {
+            "elapsed_s": round(elapsed, 4),
+            "node_deliveries_per_s": round(deliveries / elapsed),
+            "delivery_ratio": result.summary.delivery_ratio,
+        }
+    return rows
+
+
 def test_megasim_scale_tier_recorded(benchmark) -> None:
     """100k-node epidemics complete, and their throughput is recorded."""
     rows = run_once(benchmark, _measure)
@@ -100,18 +180,39 @@ def test_megasim_scale_tier_recorded(benchmark) -> None:
         assert row["nodes_per_s"] > 0
     # The lossy row must actually exercise recovery at 100k nodes.
     assert rows["ttl_2_loss5"]["retries"] > 0
-    RESULTS.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS.write_text(
-        json.dumps(
-            {
+    _record(
+        {
+            "nodes": NODES,
+            "messages": 1,
+            "seed": SEED,
+            "strategies": rows,
+        }
+    )
+
+
+def test_megasim_multi_message_dispatch_gate(benchmark) -> None:
+    """The arena dispatch must beat per-task pickling by >= 3x."""
+    rows = run_once(benchmark, _measure_multi)
+    arena = rows["arena"]
+    pickle_row = rows["pickle"]
+    speedup = (
+        arena["node_deliveries_per_s"] / pickle_row["node_deliveries_per_s"]
+    )
+    assert speedup >= MULTI_MIN_SPEEDUP, (
+        f"arena dispatch is only {speedup:.2f}x over the pickle baseline "
+        f"(gate: {MULTI_MIN_SPEEDUP}x); the zero-copy path has regressed"
+    )
+    _record(
+        {
+            "multi_message": {
                 "nodes": NODES,
-                "messages": 1,
+                "messages": MULTI_MESSAGES,
+                "view_degree": MULTI_VIEW_DEGREE,
+                "workers": MULTI_WORKERS,
                 "seed": SEED,
-                "peak_rss_mb": round(_peak_rss_mb(), 1),
-                "strategies": rows,
-            },
-            indent=2,
-            sort_keys=True,
-        )
-        + "\n"
+                "speedup": round(speedup, 2),
+                "min_speedup": MULTI_MIN_SPEEDUP,
+                "dispatch": rows,
+            }
+        }
     )

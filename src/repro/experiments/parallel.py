@@ -36,7 +36,7 @@ import os
 import pickle
 import traceback
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.experiments.runner import ExperimentResult, ExperimentSpec, run_experiment
 from repro.topology.cache import ModelLike, resolve_model
@@ -211,6 +211,8 @@ def run_tasks(
     tasks: Sequence[Callable[[], Any]],
     workers: Optional[int] = 1,
     progress: Optional[ProgressFn] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple[Any, ...] = (),
 ) -> List[Any]:
     """Run zero-argument callables; results in submission order.
 
@@ -218,6 +220,14 @@ def run_tasks(
     :class:`ExperimentSpec` -- stability timelines, benchmark sweep
     points.  Tasks must pickle under ``workers > 1``; use
     :func:`functools.partial` over module-level functions, not lambdas.
+
+    ``initializer``/``initargs`` install per-worker state *once* per
+    pool process (the megasim arena attaches its shared environment
+    here) instead of shipping it inside every task.  Under the serial
+    fallback the initializer runs inline, exactly once, before the first
+    task -- so worker-resident state behaves identically at any worker
+    count.  Serial callers are responsible for tearing that state down
+    again (pool workers just exit).
     """
     workers = resolve_workers(workers)
     tasks = list(tasks)
@@ -226,6 +236,8 @@ def run_tasks(
         return []
 
     if workers == 1:
+        if initializer is not None:
+            initializer(*initargs)
         results: List[Any] = []
         for index, task in enumerate(tasks):
             try:
@@ -242,10 +254,16 @@ def run_tasks(
 
     for task in tasks:
         _check_picklable(task, "task")
+    if initializer is not None:
+        _check_picklable(initargs, "initializer arguments")
 
     slots: List[Any] = [None] * total
     done = 0
-    with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
+    with ProcessPoolExecutor(
+        max_workers=min(workers, total),
+        initializer=initializer,
+        initargs=initargs,
+    ) as pool:
         futures = {
             pool.submit(_call_task_in_worker, index, task): task
             for index, task in enumerate(tasks)

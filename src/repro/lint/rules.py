@@ -84,7 +84,16 @@ CORE_MODULES: Tuple[str, ...] = (
     "repro.membership",
     "repro.failures",
     "repro.baselines",
+    "repro.megasim",
 )
+
+#: The one sanctioned user of ``multiprocessing.shared_memory`` inside
+#: the core scope.  Creating a segment draws a random OS-level name
+#: (``/psm_...``) -- ambient entropy by DET004's definition -- but the
+#: arena's names are pure transport: they ship the environment to
+#: workers and never reach a simulated result, which the dispatch
+#: byte-equality suite checks directly.
+SHARED_MEMORY_ALLOWLIST: Tuple[str, ...] = ("repro.megasim.arena",)
 
 #: Modules exempt from DET001: measurement harnesses that time the *real*
 #: world on purpose (benchmark drivers, the parallel engine's wall-clock
@@ -431,16 +440,32 @@ class EnvironmentReadRule(Rule):
         "platform.node",
     }
     BANNED_PREFIXES: Tuple[str, ...] = ("secrets.",)
+    #: Banned like the calls above -- segment creation draws a random
+    #: OS name -- but exempt inside :data:`SHARED_MEMORY_ALLOWLIST`.
+    SHARED_MEMORY_CALLS: Set[str] = {
+        "multiprocessing.shared_memory.SharedMemory",
+        "multiprocessing.shared_memory.ShareableList",
+    }
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not _in_scope(ctx.module, CORE_MODULES):
             return
+        shm_exempt = _in_scope(ctx.module, SHARED_MEMORY_ALLOWLIST)
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Call):
                 resolved = _resolve(node.func, ctx.aliases)
                 if resolved is None:
                     continue
-                if resolved == "open":
+                if resolved in self.SHARED_MEMORY_CALLS:
+                    if not shm_exempt:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"{resolved}() creates an OS-named shared "
+                            "segment (ambient /psm_* name); only the "
+                            "megasim arena may own segments",
+                        )
+                elif resolved == "open":
                     yield self.finding(
                         ctx,
                         node,

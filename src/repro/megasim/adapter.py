@@ -37,10 +37,10 @@ from numpy.typing import NDArray
 
 from repro.failures.gray import GrayFailurePlan
 from repro.failures.injection import FailurePlan
+from repro.megasim.links import merge_link_arrays, top_share
 from repro.metrics.analysis import RunSummary
 from repro.metrics.confidence import mean_confidence_interval
 from repro.metrics.recorder import MetricsRecorder
-from repro.metrics.structure import link_concentration
 from repro.monitors.ranking import OracleRanking
 from repro.network.message import control_packet_size, payload_packet_size
 from repro.sim.rng import RandomStreams
@@ -223,6 +223,35 @@ class PlaneTopology:
         self._px = rng.uniform(0.0, side, n)
         self._py = rng.uniform(0.0, side, n)
         self._round_ms = side / 2.0
+
+    @classmethod
+    def from_positions(
+        cls,
+        px: NDArray[np.float64],
+        py: NDArray[np.float64],
+        side: float,
+    ) -> "PlaneTopology":
+        """Rebuild a plane from existing position arrays *without*
+        re-deriving them -- the shared-arena path, where workers attach
+        the parent's positions zero-copy instead of regenerating 16 MB
+        of coordinates per process."""
+        if px.shape != py.shape or px.ndim != 1 or px.shape[0] < 1:
+            raise ValueError(
+                f"positions must be equal-length 1-D arrays, got "
+                f"{px.shape} / {py.shape}"
+            )
+        topology = cls.__new__(cls)
+        topology._n = int(px.shape[0])
+        topology.side = float(side)
+        topology._px = px
+        topology._py = py
+        topology._round_ms = float(side) / 2.0
+        return topology
+
+    @property
+    def positions(self) -> Tuple[NDArray[np.float64], NDArray[np.float64]]:
+        """The ``(x, y)`` coordinate arrays (what an arena must ship)."""
+        return self._px, self._py
 
     @property
     def size(self) -> int:
@@ -638,7 +667,6 @@ def summary_from_outcomes(
     ihave_sent = 0
     iwant_sent = 0
     slot_histogram: Dict[int, int] = {}
-    links: Optional[Dict[Tuple[int, int], int]] = {}
     for outcome in outcomes:
         deliveries += outcome.delivered_count
         msg_sent += outcome.msg_sent
@@ -652,11 +680,9 @@ def summary_from_outcomes(
         )
         for slot, count in zip(slots.tolist(), counts.tolist()):
             slot_histogram[slot] = slot_histogram.get(slot, 0) + count
-        if links is not None and outcome.link_counts is not None:
-            for link, count in outcome.link_counts.items():
-                links[link] = links.get(link, 0) + count
-        else:
-            links = None
+    # Link concentration straight from the outcomes' columnar link
+    # arrays -- no per-link dicts, so this path holds at 10^6 nodes.
+    merged_links = merge_link_arrays(outcomes)
     mean, ci, median, p95 = _slot_latency_stats(slot_histogram, round_ms)
     per_node_messages = messages * expected_receivers
     control = ihave_sent + iwant_sent
@@ -678,8 +704,8 @@ def summary_from_outcomes(
             (msg_sent / per_node_messages) if messages else 0.0
         ),
         top_link_share=(
-            link_concentration(links, top_fraction)
-            if links is not None
+            top_share(merged_links[1], top_fraction)
+            if merged_links is not None
             else float("nan")
         ),
         control_packets=control,

@@ -1,0 +1,440 @@
+"""Worker-resident megasim environments: shipped once, shared zero-copy.
+
+The fat-task problem: a multi-message run used to pickle the *entire*
+environment -- topology positions, the ``(n, degree)`` partial-view
+matrix, fault masks -- into every per-message work item.  At 10^5-10^6
+nodes that is tens to hundreds of megabytes serialized per message,
+dwarfing the vectorized kernel itself.
+
+This module makes the environment **resident**: the parent flattens it
+into one :mod:`multiprocessing.shared_memory` block
+(:class:`MegasimArena`), workers attach the block in their pool
+initializer (:func:`install_worker_env`) and reconstruct numpy views
+*into the parent's pages* -- zero copies, zero per-task serialization.
+Tasks shrink to ``(message_index, origin)`` descriptors.
+
+Layout and cleanup contract:
+
+- :class:`ArenaLayout` is the small picklable descriptor shipped through
+  the pool initializer: the segment name, per-array ``(offset, shape,
+  dtype)`` refs, the topology's scalar parameters, the spec, and every
+  message's pre-derived ``(dissemination, loss)`` seed pair.
+- The **parent owns the segment**: :meth:`MegasimArena.close` unlinks
+  it, the runner calls it in a ``finally`` (covering worker crashes
+  mid-batch), and a :func:`weakref.finalize` safety net covers the
+  parent itself dying unwound.  Workers only ever ``close()`` their
+  attachment; ownership stays with the parent (see
+  :func:`_attach_segment` for the resource-tracker details).
+- When shared memory is unavailable (platform without ``/dev/shm``,
+  permission-restricted containers), the layout degrades to an
+  **inline** fallback carrying the arrays themselves: under the
+  ``fork`` start method they are copy-on-write shared anyway, under
+  ``spawn`` they are pickled once per *worker* (initializer) instead of
+  once per *message* -- ship-once semantics either way.
+
+Attached arrays are marked read-only: every worker maps the same
+physical pages, and the round kernel never writes the environment.
+"""
+
+from __future__ import annotations
+
+import sys
+import weakref
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union, cast
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.megasim.adapter import (
+    CompiledFaults,
+    PlaneTopology,
+    UniformTopology,
+    VectorTopology,
+)
+from repro.megasim.rounds import SlotScratch
+from repro.megasim.strategies import CompiledStrategy, compile_strategy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.megasim.runner import MegasimSpec
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - exotic builds only
+    shared_memory = None  # type: ignore[assignment]
+
+#: Byte alignment of every array inside the segment (cache-line sized;
+#: also satisfies any numpy dtype's natural alignment).
+_ALIGN = 64
+
+TOPOLOGY_KIND_PLANE = "plane"
+TOPOLOGY_KIND_UNIFORM = "uniform"
+
+
+def arena_supported(topology: VectorTopology) -> bool:
+    """True when ``topology`` can be flattened into an arena.
+
+    The synthetic scale-tier environments qualify; :class:`DenseTopology`
+    (a wrapped event-kernel model with O(n^2) matrices, used by the
+    small-N differential harness) stays on the pickled-task path.
+    """
+    return isinstance(topology, (PlaneTopology, UniformTopology))
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """Where one named array lives inside the shared segment."""
+
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class ArenaLayout:
+    """Picklable descriptor of a worker-resident environment.
+
+    Exactly one of ``shm_name`` / ``inline`` carries the array payload;
+    everything else is scalar metadata small enough to ship per worker.
+    """
+
+    spec: "MegasimSpec"
+    #: Every message's pre-derived (dissemination, loss) seed pair, by
+    #: message index -- derived once in the parent, never re-derived.
+    seeds: Tuple[Tuple[int, int], ...]
+    topology_kind: str
+    topology_n: int
+    #: Plane side length or uniform latency, by kind.
+    topology_scale: float
+    arrays: Tuple[Tuple[str, ArrayRef], ...] = ()
+    shm_name: Optional[str] = None
+    inline: Optional[Dict[str, NDArray[np.generic]]] = None
+    #: ``None`` = no faults compiled; otherwise the Bernoulli loss
+    #: probability (0.0 for purely structural faults).
+    loss_probability: Optional[float] = None
+
+
+@dataclass
+class WorkerEnv:
+    """One worker's materialized environment, installed once per process."""
+
+    spec: "MegasimSpec"
+    topology: VectorTopology
+    strategy: CompiledStrategy
+    views: Optional[NDArray[np.int32]]
+    faults: Optional[CompiledFaults]
+    seeds: Tuple[Tuple[int, int], ...]
+    _scratch: Optional[SlotScratch] = field(default=None, repr=False)
+
+    def scratch(self) -> SlotScratch:
+        """The worker's reusable slot buffers (lazily sized once)."""
+        if self._scratch is None:
+            self._scratch = SlotScratch(self.topology.size)
+        return self._scratch
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _release_segment(segment: "shared_memory.SharedMemory") -> None:
+    """Close and unlink; tolerant of the segment already being gone."""
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - exported views still alive
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+
+
+class MegasimArena:
+    """Parent-side owner of one run's shared environment.
+
+    Packs the named environment arrays into a single shared-memory
+    segment at construction; :attr:`layout` is the descriptor to ship to
+    workers.  Use as a context manager (or call :meth:`close`) so the
+    segment is unlinked exactly once, whatever happens mid-run.
+    """
+
+    def __init__(
+        self,
+        spec: "MegasimSpec",
+        topology: VectorTopology,
+        views: Optional[NDArray[np.int32]],
+        faults: Optional[CompiledFaults],
+        seeds: Tuple[Tuple[int, int], ...],
+    ) -> None:
+        kind, scale = _topology_meta(topology)
+        arrays = _environment_arrays(topology, views, faults)
+        self._segment: Optional["shared_memory.SharedMemory"] = None
+        self._finalizer: Optional[weakref.finalize] = None
+        refs, segment = _pack_arrays(arrays)
+        loss = float(faults.loss_probability) if faults is not None else None
+        if segment is not None:
+            self._segment = segment
+            self._finalizer = weakref.finalize(
+                self, _release_segment, segment
+            )
+            self.layout = ArenaLayout(
+                spec=spec,
+                seeds=seeds,
+                topology_kind=kind,
+                topology_n=topology.size,
+                topology_scale=scale,
+                arrays=refs,
+                shm_name=segment.name,
+                loss_probability=loss,
+            )
+        else:
+            # Fallback: no shared memory on this platform/container.
+            # Arrays ride inside the layout -- copy-on-write under fork,
+            # pickled once per worker under spawn.
+            self.layout = ArenaLayout(
+                spec=spec,
+                seeds=seeds,
+                topology_kind=kind,
+                topology_n=topology.size,
+                topology_scale=scale,
+                inline=arrays,
+                loss_probability=loss,
+            )
+
+    @property
+    def name(self) -> Optional[str]:
+        """The shared segment's name (``None`` on the inline fallback)."""
+        return self._segment.name if self._segment is not None else None
+
+    def close(self) -> None:
+        """Unlink the segment (idempotent; no-op on the inline fallback)."""
+        if self._finalizer is not None:
+            self._finalizer()
+
+    def __enter__(self) -> "MegasimArena":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _topology_meta(topology: VectorTopology) -> Tuple[str, float]:
+    if isinstance(topology, PlaneTopology):
+        return TOPOLOGY_KIND_PLANE, topology.side
+    if isinstance(topology, UniformTopology):
+        return TOPOLOGY_KIND_UNIFORM, topology.round_ms
+    raise ValueError(
+        f"{type(topology).__name__} cannot be made worker-resident; "
+        "use dispatch='pickle'"
+    )
+
+
+def _environment_arrays(
+    topology: VectorTopology,
+    views: Optional[NDArray[np.int32]],
+    faults: Optional[CompiledFaults],
+) -> Dict[str, NDArray[np.generic]]:
+    """The named arrays a worker needs to rebuild the environment."""
+    arrays: Dict[str, NDArray[np.generic]] = {}
+    if isinstance(topology, PlaneTopology):
+        px, py = topology.positions
+        arrays["plane.px"] = px
+        arrays["plane.py"] = py
+    if views is not None:
+        arrays["views"] = views
+    if faults is not None:
+        if faults.crashed is not None:
+            arrays["faults.crashed"] = faults.crashed
+        if faults.drop_keys is not None:
+            arrays["faults.drop_keys"] = faults.drop_keys
+        if faults.lossy_keys is not None:
+            arrays["faults.lossy_keys"] = faults.lossy_keys
+    return arrays
+
+
+def _pack_arrays(
+    arrays: Dict[str, NDArray[np.generic]],
+) -> Tuple[
+    Tuple[Tuple[str, ArrayRef], ...],
+    Optional["shared_memory.SharedMemory"],
+]:
+    """Copy ``arrays`` into a fresh shared segment; refs + segment.
+
+    Returns ``((), None)`` when shared memory is unavailable, cannot be
+    created (the caller then falls back to inline shipping), or there is
+    nothing to share.
+    """
+    if shared_memory is None or not arrays:
+        return (), None
+    refs: List[Tuple[str, ArrayRef]] = []
+    offset = 0
+    for name in sorted(arrays):
+        array = arrays[name]
+        offset = _aligned(offset)
+        refs.append(
+            (name, ArrayRef(offset, array.shape, array.dtype.str))
+        )
+        offset += array.nbytes
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    except OSError:  # pragma: no cover - no /dev/shm in this container
+        return (), None
+    for name, ref in refs:
+        source = arrays[name]
+        destination: NDArray[np.generic] = np.frombuffer(
+            segment.buf,
+            dtype=np.dtype(ref.dtype),
+            count=source.size,
+            offset=ref.offset,
+        ).reshape(ref.shape)
+        np.copyto(destination, source)
+        # Drop the view before returning: SharedMemory.close() raises
+        # BufferError while exported memoryviews are alive.
+        del destination
+    return tuple(refs), segment
+
+
+def _attach_segment(name: str) -> "shared_memory.SharedMemory":
+    """Attach to an existing segment without claiming ownership.
+
+    On Python 3.13+ ``track=False`` says so explicitly.  Earlier
+    versions register every attach with the resource tracker
+    (bpo-39959) -- but under ``fork``/``forkserver`` (every start method
+    the pool engine uses on POSIX) the tracker *process* is inherited
+    from the parent, so the worker's registration aliases the parent's
+    own entry in the tracker's name set: a no-op to add, and exactly one
+    unregister happens when the parent unlinks.  Unregistering here
+    would remove the parent's entry instead and make its unlink trip
+    the tracker.  (A ``spawn`` child on < 3.13 owns a separate tracker
+    and may log a spurious leak warning at exit; the parent's unlink
+    tolerates the already-removed segment.)
+    """
+    if shared_memory is None:  # pragma: no cover - guarded by callers
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    if sys.version_info >= (3, 13):
+        return shared_memory.SharedMemory(name=name, track=False)
+    return shared_memory.SharedMemory(name=name)
+
+
+# -- worker-resident state ----------------------------------------------------
+
+_ENV: Optional[WorkerEnv] = None
+_ATTACHED: Optional["shared_memory.SharedMemory"] = None
+
+
+def install_worker_env(payload: Union[ArenaLayout, WorkerEnv]) -> None:
+    """Pool initializer: materialize and pin one run's environment.
+
+    Runs once per worker process (or once inline under the serial
+    fallback).  Accepts either a ready :class:`WorkerEnv` (serial path:
+    the parent's own objects, nothing to attach) or an
+    :class:`ArenaLayout` to materialize -- attaching the shared segment
+    zero-copy, or adopting the inline arrays on the fallback path.
+    """
+    global _ENV, _ATTACHED
+    if isinstance(payload, WorkerEnv):
+        _ENV = payload
+        _ATTACHED = None
+        return
+    arrays: Dict[str, NDArray[np.generic]] = {}
+    segment: Optional["shared_memory.SharedMemory"] = None
+    if payload.shm_name is not None:
+        segment = _attach_segment(payload.shm_name)
+        for name, ref in payload.arrays:
+            count = 1
+            for extent in ref.shape:
+                count *= extent
+            array: NDArray[np.generic] = np.frombuffer(
+                segment.buf,
+                dtype=np.dtype(ref.dtype),
+                count=count,
+                offset=ref.offset,
+            ).reshape(ref.shape)
+            array.setflags(write=False)
+            arrays[name] = array
+    elif payload.inline is not None:
+        arrays = dict(payload.inline)
+        for array in arrays.values():
+            array.setflags(write=False)
+    _ENV = _materialize_env(payload, arrays)
+    _ATTACHED = segment
+
+
+def _materialize_env(
+    layout: ArenaLayout, arrays: Dict[str, NDArray[np.generic]]
+) -> WorkerEnv:
+    spec = layout.spec
+    topology: VectorTopology
+    if layout.topology_kind == TOPOLOGY_KIND_PLANE:
+        topology = PlaneTopology.from_positions(
+            cast(NDArray[np.float64], arrays["plane.px"]),
+            cast(NDArray[np.float64], arrays["plane.py"]),
+            side=layout.topology_scale,
+        )
+    elif layout.topology_kind == TOPOLOGY_KIND_UNIFORM:
+        topology = UniformTopology(
+            layout.topology_n, latency_ms=layout.topology_scale
+        )
+    else:
+        raise ValueError(f"unknown topology kind {layout.topology_kind!r}")
+    if topology.size != layout.topology_n:
+        raise ValueError(
+            f"arena topology has {topology.size} nodes, layout says "
+            f"{layout.topology_n}"
+        )
+    faults: Optional[CompiledFaults] = None
+    if layout.loss_probability is not None:
+        faults = CompiledFaults(
+            n=layout.topology_n,
+            crashed=cast(
+                Optional[NDArray[np.bool_]], arrays.get("faults.crashed")
+            ),
+            drop_keys=cast(
+                Optional[NDArray[np.int64]], arrays.get("faults.drop_keys")
+            ),
+            lossy_keys=cast(
+                Optional[NDArray[np.int64]], arrays.get("faults.lossy_keys")
+            ),
+            loss_probability=layout.loss_probability,
+        )
+    # Strategies compile deterministically from the frozen factory and
+    # the (shared) topology, so recompiling per worker is cheap and
+    # avoids shipping evaluator closures.
+    strategy = compile_strategy(
+        spec.strategy_factory, topology, retry_period_ms=spec.retry_period_ms
+    )
+    return WorkerEnv(
+        spec=spec,
+        topology=topology,
+        strategy=strategy,
+        views=cast(Optional[NDArray[np.int32]], arrays.get("views")),
+        faults=faults,
+        seeds=layout.seeds,
+    )
+
+
+def current_env() -> WorkerEnv:
+    """The environment installed in this process; raises if absent."""
+    if _ENV is None:
+        raise RuntimeError(
+            "no megasim environment installed in this process; "
+            "install_worker_env must run first (pool initializer)"
+        )
+    return _ENV
+
+
+def clear_worker_env() -> None:
+    """Drop the installed environment (serial-path teardown).
+
+    The attachment (if any) is closed so the mapping is released
+    promptly; the parent still owns -- and unlinks -- the segment.
+    Idempotent.
+    """
+    global _ENV, _ATTACHED
+    _ENV = None
+    segment, _ATTACHED = _ATTACHED, None
+    if segment is not None:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - env views still alive
+            pass

@@ -27,6 +27,8 @@ from repro.experiments.scenarios import (
 from repro.failures.gray import GrayFailurePlan
 from repro.failures.injection import FailurePlan
 from repro.megasim.runner import (
+    DISPATCH_ARENA,
+    DISPATCH_PICKLE,
     TOPOLOGY_PLANE,
     TOPOLOGY_UNIFORM,
     MegasimResult,
@@ -115,6 +117,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="processes for multi-message fan-out (0 = one per CPU)",
     )
     parser.add_argument(
+        "--dispatch",
+        choices=("auto", DISPATCH_ARENA, DISPATCH_PICKLE),
+        default="auto",
+        help="fan-out mode: shared-memory arena, fat pickled tasks, or "
+        "auto (arena whenever the topology supports it)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="messages per arena dispatch (default: two waves per worker)",
+    )
+    parser.add_argument(
+        "--track-links",
+        action="store_true",
+        help="record per-link payload counts and report the emergent-"
+        "structure metrics (top-5%% link share, effective degree)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the row as JSON"
     )
     return parser
@@ -125,7 +146,7 @@ def result_row(
 ) -> "dict[str, object]":
     summary = result.summary
     total_node_visits = args.nodes * len(result.outcomes)
-    return {
+    row: "dict[str, object]" = {
         "strategy": args.strategy,
         "nodes": args.nodes,
         "messages": len(result.outcomes),
@@ -139,6 +160,11 @@ def result_row(
         "elapsed_s": elapsed_s,
         "nodes_per_s": total_node_visits / elapsed_s if elapsed_s > 0 else 0.0,
     }
+    if result.structure is not None:
+        row["top_link_share"] = result.structure.top_link_share
+        row["effective_degree"] = result.structure.effective_degree
+        row["used_links"] = result.structure.used_links
+    return row
 
 
 def build_faults(
@@ -174,11 +200,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         topology=args.topology,
         view_degree=args.view_degree,
+        track_links=args.track_links,
         failure=failure,
         gray=gray,
     )
+    if args.batch_size is not None and args.batch_size < 1:
+        raise SystemExit(f"--batch-size must be >= 1, got {args.batch_size}")
+    dispatch = None if args.dispatch == "auto" else args.dispatch
     started = time.perf_counter()
-    result = run_megasim(spec, workers=resolve_workers(args.workers))
+    result = run_megasim(
+        spec,
+        workers=resolve_workers(args.workers),
+        dispatch=dispatch,
+        batch_size=args.batch_size,
+    )
     elapsed = time.perf_counter() - started
     row = result_row(args, result, elapsed)
     if args.json:

@@ -65,7 +65,6 @@ from numpy.typing import NDArray
 from repro.megasim.adapter import CompiledFaults, VectorTopology
 from repro.megasim.state import (
     NODE_DTYPE,
-    ROUND_DTYPE,
     MessageState,
 )
 from repro.megasim.strategies import CompiledStrategy
@@ -80,7 +79,15 @@ _FULL_FANOUT_LIMIT = 1 << 24
 
 @dataclass
 class MessageOutcome:
-    """Everything observable about one finished message."""
+    """Everything observable about one finished message.
+
+    Payload links are stored columnar -- ``link_keys`` holds the sorted
+    distinct ``src * n + dst`` keys of every link that carried payload,
+    ``link_sends`` the aligned transmission counts -- so a million-node
+    tracked run costs two flat arrays, not a Python dict.  The
+    :attr:`link_counts` dict view is derived on demand for the small-N
+    recorder/differential paths.
+    """
 
     origin: int
     deliver_slot: NDArray[np.int32]
@@ -91,7 +98,8 @@ class MessageOutcome:
     ihave_sent: int
     iwant_sent: int
     slots_elapsed: int
-    link_counts: Optional[Dict[Tuple[int, int], int]] = None
+    link_keys: Optional[NDArray[np.int64]] = None
+    link_sends: Optional[NDArray[np.int64]] = None
     #: IWANTs past the first per entry (the event kernel's
     #: ``RequestQueue.retries_sent``); 0 in any loss-free run.
     retries: int = 0
@@ -99,6 +107,23 @@ class MessageOutcome:
     @property
     def delivered_count(self) -> int:
         return int(np.count_nonzero(self.deliver_slot >= 0))
+
+    @property
+    def link_counts(self) -> Optional[Dict[Tuple[int, int], int]]:
+        """Per-link payload counts as ``{(src, dst): count}`` (small N).
+
+        Materializes a dict per call -- fine for the recorder and the
+        differential suite, not meant for 10^5+ nodes.
+        """
+        if self.link_keys is None or self.link_sends is None:
+            return None
+        n = self.deliver_slot.shape[0]
+        return {
+            (int(key // n), int(key % n)): int(count)
+            for key, count in zip(
+                self.link_keys.tolist(), self.link_sends.tolist()
+            )
+        }
 
     def receipt_round_histogram(self) -> Dict[int, int]:
         delivered = self.carried_round[self.deliver_slot >= 0]
@@ -199,14 +224,115 @@ def _sample_without_replacement(
     draws = rng.integers(0, population, size=(rows, k), dtype=np.int64)
     if k == 1:
         return draws
+    # Re-sort only the rows still being rejected: sorting consumes no
+    # RNG and a row's redraw count is decided row-locally, so shrinking
+    # the sorted working set leaves the draw sequence -- and therefore
+    # every outcome -- bit-identical while cutting the dominant
+    # O(rows log k) cost to the (geometrically vanishing) bad subset.
+    pending = np.arange(rows, dtype=np.int64)
+    unchecked = draws
     while True:
-        ordered = np.sort(draws, axis=1, kind="stable")
+        ordered = np.sort(unchecked, axis=1, kind="stable")
         bad = (ordered[:, 1:] == ordered[:, :-1]).any(axis=1)
         if not bad.any():
             return draws
-        draws[bad] = rng.integers(
-            0, population, size=(int(bad.sum()), k), dtype=np.int64
+        pending = pending[bad]
+        unchecked = rng.integers(
+            0, population, size=(pending.size, k), dtype=np.int64
         )
+        draws[pending] = unchecked
+
+
+class SlotScratch:
+    """Preallocated per-population buffers, reused across slots *and*
+    messages.
+
+    The slot loop used to allocate two n-sized arrays per slot (a
+    first-occurrence index map and a due-node flag mask); at 10^5-10^6
+    nodes and dozens of messages per worker that is the dominant
+    allocator traffic.  One scratch instance per worker -- handed to
+    every :func:`disseminate` call in a batch -- keeps those buffers
+    hot.  Each user restores its buffer to the rest state (``first_pos``
+    all ``-1``, ``flag`` all ``False``) before returning, writing only
+    the entries it touched, so reuse cannot leak state between slots or
+    messages.
+    """
+
+    __slots__ = ("n", "first_pos", "flag", "_arange")
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"need at least one node, got {n}")
+        self.n = n
+        self.first_pos: NDArray[np.int64] = np.full(n, -1, dtype=np.int64)
+        self.flag: NDArray[np.bool_] = np.zeros(n, dtype=np.bool_)
+        self._arange: NDArray[np.int64] = np.arange(1024, dtype=np.int64)
+
+    def arange(self, count: int) -> NDArray[np.int64]:
+        """``np.arange(count)`` served from a grow-only cached buffer."""
+        if count > self._arange.shape[0]:
+            capacity = self._arange.shape[0]
+            while capacity < count:
+                capacity *= 2
+            self._arange = np.arange(capacity, dtype=np.int64)
+        return self._arange[:count]
+
+
+class _LinkLog:
+    """Growable columnar log of payload sends, one (src, dst) per row.
+
+    Replaces the per-batch ``np.unique``-into-dict link counting: the
+    hot path just copies each batch into the log, and the distinct-link
+    reduction runs once per message in :meth:`finalize`.
+    """
+
+    __slots__ = ("size", "_src", "_dst")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.size = 0
+        self._src: NDArray[np.int32] = np.empty(capacity, NODE_DTYPE)
+        self._dst: NDArray[np.int32] = np.empty(capacity, NODE_DTYPE)
+
+    def append(self, src: NDArray[np.int32], dst: NDArray[np.int32]) -> None:
+        needed = self.size + src.shape[0]
+        capacity = self._src.shape[0]
+        if needed > capacity:
+            while capacity < needed:
+                capacity *= 2
+            self._src = np.concatenate([self._src[: self.size],
+                                        np.empty(capacity - self.size,
+                                                 NODE_DTYPE)])
+            self._dst = np.concatenate([self._dst[: self.size],
+                                        np.empty(capacity - self.size,
+                                                 NODE_DTYPE)])
+        self._src[self.size: needed] = src
+        self._dst[self.size: needed] = dst
+        self.size = needed
+
+    def finalize(
+        self, n: int
+    ) -> Tuple[NDArray[np.int64], NDArray[np.int64]]:
+        """Sorted distinct ``src * n + dst`` keys + aligned send counts."""
+        keys = self._src[: self.size].astype(np.int64)
+        keys *= n
+        keys += self._dst[: self.size]
+        uniq, counts = np.unique(keys, return_counts=True)
+        return uniq, counts.astype(np.int64, copy=False)
+
+
+def _accumulate(
+    counts: NDArray[np.int64], index: NDArray[np.int32]
+) -> None:
+    """``counts[index] += 1`` with duplicate indices.
+
+    ``np.add.at`` is exact but slow (per-element dispatch); for batches
+    a decent fraction of the population, one ``np.bincount`` pass is an
+    order of magnitude faster and computes the same integer sums.
+    """
+    if index.size >= counts.shape[0] >> 4:
+        counts += np.bincount(index, minlength=counts.shape[0])
+    else:
+        np.add.at(counts, index, 1)
 
 
 @dataclass
@@ -230,9 +356,15 @@ def disseminate(
     track_links: bool = False,
     faults: Optional[CompiledFaults] = None,
     loss_rng: Optional[np.random.Generator] = None,
+    scratch: Optional[SlotScratch] = None,
 ) -> MessageOutcome:
     """Run one message's epidemic to completion; see the module docstring
-    for the slot-ordering contract."""
+    for the slot-ordering contract.
+
+    ``scratch`` lets a caller running many messages over one topology
+    (a worker draining a batch) reuse the slot buffers; omitted, a
+    private instance is allocated.  Results are identical either way.
+    """
     n = topology.size
     if not 0 <= origin < n:
         raise ValueError(f"origin {origin} out of range for {n} nodes")
@@ -251,9 +383,15 @@ def disseminate(
             raise ValueError(
                 "faults with Bernoulli loss need a dedicated loss_rng"
             )
+    if scratch is None:
+        scratch = SlotScratch(n)
+    elif scratch.n != n:
+        raise ValueError(
+            f"scratch sized for {scratch.n} nodes, topology has {n}"
+        )
     state = MessageState(n)
     queues = _SlotQueues()
-    links: Optional[Dict[Tuple[int, int], int]] = {} if track_links else None
+    links: Optional[_LinkLog] = _LinkLog() if track_links else None
     counters = _Counters()
     delay = strategy.first_delay_rounds
 
@@ -266,14 +404,14 @@ def disseminate(
     while True:
         # -- 1. MSG arrivals: first copy per node wins (t > 0) ----------
         if t > 0:
-            newly = _process_arrivals(state, queues, t)
+            newly = _process_arrivals(state, queues, t, scratch)
 
         # -- 2. early fires: timers armed in an earlier slot (delayed
         # first requests, every retry) precede this slot's arrivals, so
         # they fire even for nodes whose first MSG landed this very slot.
         early = _due_nodes(state, t, early=True)
         requesters, pull_src, pull_rnd = _fire_requests(
-            state, strategy, t, early
+            state, strategy, t, early, scratch
         )
         _emit_pulls(
             state, queues, counters, links, t,
@@ -291,7 +429,7 @@ def disseminate(
         # slot's adverts fire after everything else in the slot.
         late = _due_nodes(state, t, early=False)
         requesters, pull_src, pull_rnd = _fire_requests(
-            state, strategy, t, late
+            state, strategy, t, late, scratch
         )
         _emit_pulls(
             state, queues, counters, links, t,
@@ -300,11 +438,12 @@ def disseminate(
 
         # -- 6. forwards from nodes that delivered this slot ------------
         if newly.size:
-            carried = state.carried_round[newly]
+            carried = np.take(state.carried_round, newly)
             senders = newly[carried < rounds]
             if senders.size:
                 src, dst = sample_targets(rng, senders, fanout, n, views)
-                rnd = (state.carried_round[src] + 1).astype(ROUND_DTYPE)
+                rnd = np.take(state.carried_round, src)
+                rnd += 1
                 eager = strategy.evaluator.eager_mask(src, dst, rnd, rng)
                 eager_src, eager_dst = src[eager], dst[eager]
                 eager_rnd = rnd[eager]
@@ -313,9 +452,9 @@ def disseminate(
                 lazy_rnd = rnd[lazy]
                 counters.msg_sent += int(eager_src.size)
                 counters.ihave_sent += int(lazy_src.size)
-                np.add.at(state.payload_sent, eager_src, 1)
+                _accumulate(state.payload_sent, eager_src)
                 if links is not None:
-                    _count_links(links, eager_src, eager_dst)
+                    links.append(eager_src, eager_dst)
                 if faults is not None:
                     keep = faults.deliver_mask(eager_src, eager_dst, loss_rng)
                     eager_src, eager_dst = eager_src[keep], eager_dst[keep]
@@ -334,6 +473,10 @@ def disseminate(
             break
         t += 1
 
+    link_keys: Optional[NDArray[np.int64]] = None
+    link_sends: Optional[NDArray[np.int64]] = None
+    if links is not None:
+        link_keys, link_sends = links.finalize(n)
     return MessageOutcome(
         origin=origin,
         deliver_slot=state.deliver_slot,
@@ -344,13 +487,14 @@ def disseminate(
         ihave_sent=counters.ihave_sent,
         iwant_sent=counters.iwant_sent,
         slots_elapsed=t,
-        link_counts=links,
+        link_keys=link_keys,
+        link_sends=link_sends,
         retries=counters.retries,
     )
 
 
 def _process_arrivals(
-    state: MessageState, queues: _SlotQueues, t: int
+    state: MessageState, queues: _SlotQueues, t: int, scratch: SlotScratch
 ) -> NDArray[np.int32]:
     """Apply this slot's MSG batches; returns the newly delivered nodes
     in ascending id order."""
@@ -363,23 +507,48 @@ def _process_arrivals(
         return np.empty(0, dtype=NODE_DTYPE)
     dst = np.concatenate([b[1] for b in batches])
     rnd = np.concatenate([b[2] for b in batches])
-    np.add.at(state.payload_received, dst, 1)
-    fresh = state.received_slot[dst] == -1
+    _accumulate(state.payload_received, dst)
+    fresh = np.take(state.received_slot, dst) == -1
     dst, rnd = dst[fresh], rnd[fresh]
     if dst.size == 0:
         return np.empty(0, dtype=NODE_DTYPE)
-    # np.unique returns the first occurrence per value: with batches
-    # concatenated in processing order, that is the event kernel's
-    # first-arrival-wins rule.
-    winners, first = np.unique(dst, return_index=True)
+    winners, first = _first_occurrences(dst, scratch)
     state.received_slot[winners] = t
     # The origin already delivered locally; its first MSG arrival is a
     # scheduler-layer duplicate and changes nothing at the gossip layer.
-    undelivered = state.deliver_slot[winners] == -1
+    undelivered = np.take(state.deliver_slot, winners) == -1
     winners, first = winners[undelivered], first[undelivered]
     state.deliver_slot[winners] = t
     state.carried_round[winners] = rnd[first]
     return winners.astype(NODE_DTYPE, copy=False)
+
+
+def _first_occurrences(
+    dst: NDArray[np.int32], scratch: SlotScratch
+) -> Tuple[NDArray[np.int64], NDArray[np.int64]]:
+    """``np.unique(dst, return_index=True)`` without the sort.
+
+    With batches concatenated in processing order, the first occurrence
+    per value is the event kernel's first-arrival-wins rule.  For slots
+    whose arrival batch rivals the population size (the epidemic bulge:
+    up to fanout * n pairs), sorting the batch is the kernel's single
+    most expensive reduction; a reverse-order scatter into the reusable
+    ``first_pos`` map leaves exactly the first position per value and
+    reads winners back in ascending id order -- the same (values,
+    first_index) pair ``np.unique`` returns, in O(batch + n).
+    """
+    if dst.size < scratch.n // 4:
+        values, first = np.unique(dst, return_index=True)
+        return values.astype(np.int64, copy=False), first
+    first_pos = scratch.first_pos
+    positions = scratch.arange(dst.size)
+    # Writing positions in descending order means the lowest index --
+    # the first occurrence -- lands last and wins.
+    first_pos[dst[::-1]] = positions[::-1]
+    winners = np.flatnonzero(first_pos >= 0)
+    first = first_pos[winners]
+    first_pos[winners] = -1  # restore the rest state for the next slot
+    return winners, first
 
 
 def _due_nodes(
@@ -409,6 +578,7 @@ def _fire_requests(
     strategy: CompiledStrategy,
     t: int,
     due: NDArray[np.int32],
+    scratch: SlotScratch,
 ) -> Tuple[NDArray[np.int32], NDArray[np.int32], NDArray[np.int32]]:
     """``RequestQueue._fire`` over every due node at once.
 
@@ -424,7 +594,10 @@ def _fire_requests(
     if due.size == 0:
         return empty, empty.copy(), empty.copy()
     log = state.adverts
-    firing = np.zeros(state.n, dtype=bool)
+    # The due-node membership mask lives in scratch; every bit set here
+    # is cleared again before returning (dropped and chosen nodes are
+    # both subsets of ``due``).
+    firing = scratch.flag
     firing[due] = True
     log_dst = log.dst
     rows = np.flatnonzero(
@@ -449,6 +622,7 @@ def _fire_requests(
     exhausted = firing
     exhausted[chosen_dst] = False
     dropped = np.flatnonzero(exhausted)
+    firing[due] = False
     if dropped.size:
         state.request_active[dropped] = False
         state.request_due[dropped] = -1
@@ -471,7 +645,7 @@ def _emit_pulls(
     state: MessageState,
     queues: _SlotQueues,
     counters: _Counters,
-    links: Optional[Dict[Tuple[int, int], int]],
+    links: Optional[_LinkLog],
     t: int,
     requesters: NDArray[np.int32],
     sources: NDArray[np.int32],
@@ -505,9 +679,9 @@ def _emit_pulls(
     # The answering MSG: counted at the source for every delivered
     # IWANT, dropped (if at all) on its own return leg.
     counters.msg_sent += int(sources.size)
-    np.add.at(state.payload_sent, sources, 1)
+    _accumulate(state.payload_sent, sources)
     if links is not None:
-        _count_links(links, sources, requesters)
+        links.append(sources, requesters)
     if faults is not None:
         keep = faults.deliver_mask(sources, requesters, loss_rng)
         requesters, sources, rnds = (
@@ -585,14 +759,3 @@ def _requester_metric(
     if topology is None:  # pragma: no cover - nearest implies a monitor
         raise ValueError("nearest-source discipline needs a metric topology")
     return topology.metric(strategy.metric_kind, requester, source)
-
-
-def _count_links(
-    links: Dict[Tuple[int, int], int],
-    src: NDArray[np.int32],
-    dst: NDArray[np.int32],
-) -> None:
-    pairs = np.stack([src, dst], axis=1)
-    uniq, counts = np.unique(pairs, axis=0, return_counts=True)
-    for (a, b), count in zip(uniq.tolist(), counts.tolist()):
-        links[(int(a), int(b))] = links.get((int(a), int(b)), 0) + int(count)

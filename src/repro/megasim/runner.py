@@ -6,19 +6,38 @@ description of a run.  Messages are mutually independent epidemics, so
 :func:`run_megasim` fans them out through
 :func:`repro.experiments.parallel.run_tasks` -- every message's RNG seed
 is derived *before* dispatch from the spec's root seed
-(``megasim.message.{index}``), so results are identical for any worker
-count, in submission order, exactly like the event-kernel engine.
+(:func:`derive_message_seeds`, one pass over ``megasim.message.{index}``
+/ ``megasim.loss.{index}``), so results are identical for any worker
+count, batch size, and dispatch mode, in submission order, exactly like
+the event-kernel engine.
+
+Two dispatch modes (``dispatch=`` on :func:`run_megasim`):
+
+- ``"arena"`` (default for the synthetic topologies): the environment
+  -- topology positions, partial views, fault tables -- is packed once
+  into a :class:`~repro.megasim.arena.MegasimArena` shared-memory
+  segment, workers attach it zero-copy in their pool initializer, and
+  tasks shrink to ``(message indices, origins)`` batch descriptors of a
+  few bytes each.  ``batch_size`` messages run per dispatch against the
+  worker-resident environment, reusing one
+  :class:`~repro.megasim.rounds.SlotScratch` across the whole batch.
+- ``"pickle"``: the legacy fat-task path -- every message's task
+  carries the full environment through the pickle boundary.  Still used
+  by the differential harness (its :class:`DenseTopology` wraps an
+  event-kernel model that cannot be flattened) and kept as the
+  benchmark baseline.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from numpy.typing import NDArray
 
-from repro.experiments.parallel import run_tasks
+from repro.experiments.parallel import resolve_workers, run_tasks
 from repro.failures.gray import GrayFailurePlan
 from repro.failures.injection import FailurePlan
 from repro.gossip.config import recommended_rounds
@@ -32,6 +51,15 @@ from repro.megasim.adapter import (
     summary_from_outcomes,
     to_recorder,
 )
+from repro.megasim.arena import (
+    MegasimArena,
+    WorkerEnv,
+    arena_supported,
+    clear_worker_env,
+    current_env,
+    install_worker_env,
+)
+from repro.megasim.links import StructureMetrics, structure_metrics
 from repro.megasim.rounds import MessageOutcome, disseminate
 from repro.megasim.strategies import CompiledStrategy, compile_strategy
 from repro.metrics.analysis import RunSummary
@@ -42,6 +70,9 @@ from repro.sim.rng import RandomStreams
 
 TOPOLOGY_PLANE = "plane"
 TOPOLOGY_UNIFORM = "uniform"
+
+DISPATCH_ARENA = "arena"
+DISPATCH_PICKLE = "pickle"
 
 
 @dataclass(frozen=True)
@@ -113,6 +144,9 @@ class MegasimResult:
     #: Crash-stopped node ids (ascending); empty without a failure plan.
     failed: List[int] = field(default_factory=list)
     summary: RunSummary = field(init=False)
+    #: Emergent-structure metrics from the vectorized link arrays;
+    #: ``None`` unless the run tracked links for every message.
+    structure: Optional[StructureMetrics] = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         self.summary = summary_from_outcomes(
@@ -122,6 +156,7 @@ class MegasimResult:
             payload_bytes=self.spec.payload_bytes,
             expected_receivers=self.spec.nodes - len(self.failed),
         )
+        self.structure = structure_metrics(self.outcomes, self.spec.nodes)
 
     @property
     def retries(self) -> int:
@@ -171,25 +206,47 @@ def message_origins(
     )
 
 
+def derive_message_seeds(
+    spec: MegasimSpec, count: Optional[int] = None
+) -> Tuple[Tuple[int, int], ...]:
+    """Every message's ``(dissemination, loss)`` seed pair, in one pass.
+
+    One :class:`RandomStreams` instance derives all
+    ``megasim.message.{index}`` / ``megasim.loss.{index}`` seeds before
+    dispatch -- the single derivation site for both streams (per-call
+    reconstruction used to re-hash the root seed for every message).
+    Loss seeds are separate streams so that arming the loss machinery at
+    probability zero -- or not at all -- leaves the dissemination
+    stream, and therefore every outcome array, byte-identical.
+    """
+    streams = RandomStreams(spec.seed)
+    total = spec.messages if count is None else count
+    return tuple(
+        (
+            streams.derive_seed(f"megasim.message.{index}"),
+            streams.derive_seed(f"megasim.loss.{index}"),
+        )
+        for index in range(total)
+    )
+
+
 def message_seed(spec: MegasimSpec, index: int) -> int:
     """The derived RNG seed of message ``index`` -- fixed before dispatch."""
-    return RandomStreams(spec.seed).derive_seed(f"megasim.message.{index}")
+    return derive_message_seeds(spec, count=index + 1)[index][0]
 
 
 def loss_seed(spec: MegasimSpec, index: int) -> int:
-    """The derived seed of message ``index``'s Bernoulli loss stream.
-
-    Loss draws come from their own stream so that arming the loss
-    machinery at probability zero -- or not at all -- leaves the main
-    dissemination stream, and therefore every outcome array,
-    byte-identical.
-    """
-    return RandomStreams(spec.seed).derive_seed(f"megasim.loss.{index}")
+    """The derived seed of message ``index``'s Bernoulli loss stream."""
+    return derive_message_seeds(spec, count=index + 1)[index][1]
 
 
 @dataclass(frozen=True)
 class _MessageTask:
-    """One message's dissemination as a picklable zero-arg callable."""
+    """One message's dissemination as a picklable zero-arg callable.
+
+    The fat-task (``dispatch="pickle"``) form: the whole environment
+    rides along.  Seeds are precomputed scalars, not re-derived.
+    """
 
     spec: MegasimSpec
     topology: VectorTopology
@@ -198,12 +255,14 @@ class _MessageTask:
     origin: int
     index: int
     faults: Optional[CompiledFaults] = None
+    seed: int = 0
+    loss_seed: int = 0
 
     def __call__(self) -> MessageOutcome:
-        rng = np.random.default_rng(message_seed(self.spec, self.index))
+        rng = np.random.default_rng(self.seed)
         loss_rng: Optional[np.random.Generator] = None
         if self.faults is not None and self.faults.needs_rng:
-            loss_rng = np.random.default_rng(loss_seed(self.spec, self.index))
+            loss_rng = np.random.default_rng(self.loss_seed)
         return disseminate(
             self.topology,
             self.strategy,
@@ -218,16 +277,110 @@ class _MessageTask:
         )
 
 
+@dataclass(frozen=True)
+class _BatchTask:
+    """``B`` messages against the worker-resident environment.
+
+    Pure descriptor: a few integers, independent of population size.
+    The environment comes from :func:`~repro.megasim.arena.current_env`
+    (installed by the pool initializer), and one scratch instance is
+    reused across the whole batch.
+    """
+
+    indices: Tuple[int, ...]
+    origins: Tuple[int, ...]
+
+    def __call__(self) -> List[MessageOutcome]:
+        env = current_env()
+        spec = env.spec
+        scratch = env.scratch()
+        needs_loss = env.faults is not None and env.faults.needs_rng
+        outcomes: List[MessageOutcome] = []
+        for index, origin in zip(self.indices, self.origins):
+            seed, loss = env.seeds[index]
+            loss_rng = np.random.default_rng(loss) if needs_loss else None
+            outcomes.append(
+                disseminate(
+                    env.topology,
+                    env.strategy,
+                    origin,
+                    spec.fanout,
+                    spec.effective_rounds,
+                    np.random.default_rng(seed),
+                    views=env.views,
+                    track_links=spec.track_links,
+                    faults=env.faults,
+                    loss_rng=loss_rng,
+                    scratch=scratch,
+                )
+            )
+        return outcomes
+
+
+def default_batch_size(messages: int, workers: int) -> int:
+    """Messages per dispatch: two waves per worker.
+
+    Large enough to amortize pool round-trips, small enough that a slow
+    straggler batch cannot idle the other workers for long.
+    """
+    return max(1, math.ceil(messages / (workers * 2)))
+
+
+def _batch_tasks(
+    origins: Sequence[int], batch_size: int
+) -> List[_BatchTask]:
+    """Consecutive-index batches; flattening in task order restores
+    exact submission order, so results are batch-size invariant."""
+    return [
+        _BatchTask(
+            indices=tuple(range(start, min(start + batch_size, len(origins)))),
+            origins=tuple(origins[start: start + batch_size]),
+        )
+        for start in range(0, len(origins), batch_size)
+    ]
+
+
+def _resolve_dispatch(
+    dispatch: Optional[str], topology: VectorTopology
+) -> str:
+    if dispatch is None:
+        return (
+            DISPATCH_ARENA if arena_supported(topology) else DISPATCH_PICKLE
+        )
+    if dispatch not in (DISPATCH_ARENA, DISPATCH_PICKLE):
+        raise ValueError(
+            f"dispatch must be {DISPATCH_ARENA!r} or {DISPATCH_PICKLE!r}, "
+            f"got {dispatch!r}"
+        )
+    if dispatch == DISPATCH_ARENA and not arena_supported(topology):
+        raise ValueError(
+            f"dispatch='arena' needs a shareable synthetic topology "
+            f"(plane/uniform); {type(topology).__name__} must use "
+            f"dispatch='pickle'"
+        )
+    return dispatch
+
+
 def run_megasim(
     spec: MegasimSpec,
     workers: Optional[int] = 1,
     topology: Optional[VectorTopology] = None,
+    views: Optional[NDArray[np.int32]] = None,
+    dispatch: Optional[str] = None,
+    batch_size: Optional[int] = None,
 ) -> MegasimResult:
     """Run every message of ``spec``; results are worker-count invariant.
 
     Pass ``topology`` to run against an explicit environment (the
     differential harness hands in a :class:`DenseTopology` wrapping the
-    event kernel's model) instead of the spec's synthetic one.
+    event kernel's model) instead of the spec's synthetic one, and
+    ``views`` to reuse pre-built partial views (they must match what
+    ``spec.view_degree`` would build -- benchmark reruns over one
+    environment).  ``dispatch`` picks the fan-out mode (module
+    docstring); ``None`` selects the arena whenever the topology
+    supports it.  ``batch_size`` tunes messages per arena dispatch
+    (default :func:`default_batch_size`); outcomes are byte-identical
+    for every legal value.
     """
     if topology is None:
         topology = build_topology(spec)
@@ -235,13 +388,22 @@ def run_megasim(
         raise ValueError(
             f"topology has {topology.size} nodes, spec wants {spec.nodes}"
         )
+    mode = _resolve_dispatch(dispatch, topology)
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     strategy = compile_strategy(
         spec.strategy_factory,
         topology,
         retry_period_ms=spec.retry_period_ms,
     )
-    views: Optional[NDArray[np.int32]] = None
-    if spec.view_degree is not None:
+    if views is not None:
+        expected = (spec.nodes, spec.view_degree)
+        if spec.view_degree is None or views.shape != expected:
+            raise ValueError(
+                f"views shaped {views.shape} do not match "
+                f"spec.view_degree={spec.view_degree}"
+            )
+    elif spec.view_degree is not None:
         views = build_views(
             spec.nodes,
             spec.view_degree,
@@ -253,14 +415,73 @@ def run_megasim(
         spec.nodes, spec.seed, failure=spec.failure, gray=spec.gray
     )
     origins = message_origins(spec, faults)
-    tasks = [
-        _MessageTask(spec, topology, strategy, views, origin, index, faults)
-        for index, origin in enumerate(origins)
-    ]
-    outcomes: List[MessageOutcome] = run_tasks(tasks, workers=workers)
+    seeds = derive_message_seeds(spec)
+    outcomes: List[MessageOutcome]
+    if mode == DISPATCH_PICKLE:
+        tasks = [
+            _MessageTask(
+                spec, topology, strategy, views, origin, index, faults,
+                seed=seeds[index][0], loss_seed=seeds[index][1],
+            )
+            for index, origin in enumerate(origins)
+        ]
+        outcomes = run_tasks(tasks, workers=workers)
+    else:
+        outcomes = _run_arena(
+            spec, topology, strategy, views, faults, origins, seeds,
+            workers=resolve_workers(workers), batch_size=batch_size,
+        )
     return MegasimResult(
         spec=spec,
         outcomes=outcomes,
         round_ms=topology.round_ms,
         failed=faults.failed_nodes() if faults is not None else [],
     )
+
+
+def _run_arena(
+    spec: MegasimSpec,
+    topology: VectorTopology,
+    strategy: CompiledStrategy,
+    views: Optional[NDArray[np.int32]],
+    faults: Optional[CompiledFaults],
+    origins: Sequence[int],
+    seeds: Tuple[Tuple[int, int], ...],
+    workers: int,
+    batch_size: Optional[int],
+) -> List[MessageOutcome]:
+    """Arena dispatch: environment resident, batch descriptors in flight.
+
+    Serial path: the parent's own objects are installed as the worker
+    environment (no segment, no attach) and torn down in ``finally``.
+    Pooled path: the arena context manager guarantees the segment is
+    unlinked on success, on a worker raising mid-batch, and on the pool
+    itself failing.
+    """
+    if batch_size is None:
+        batch_size = default_batch_size(len(origins), workers)
+    batches = _batch_tasks(origins, batch_size)
+    results: List[List[MessageOutcome]]
+    if workers == 1:
+        env = WorkerEnv(
+            spec=spec,
+            topology=topology,
+            strategy=strategy,
+            views=views,
+            faults=faults,
+            seeds=seeds,
+        )
+        try:
+            install_worker_env(env)
+            results = run_tasks(batches, workers=1)
+        finally:
+            clear_worker_env()
+    else:
+        with MegasimArena(spec, topology, views, faults, seeds) as arena:
+            results = run_tasks(
+                batches,
+                workers=workers,
+                initializer=install_worker_env,
+                initargs=(arena.layout,),
+            )
+    return [outcome for batch in results for outcome in batch]

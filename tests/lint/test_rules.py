@@ -255,6 +255,41 @@ class TestEnvironmentRead:
             module="repro.membership.view",
         ) == []
 
+    def test_megasim_is_in_core_scope(self):
+        assert rules_of(
+            "import os\nv = os.getenv('SEED')\n",
+            module="repro.megasim.rounds",
+        ) == ["DET004"]
+
+    def test_shared_memory_fires_outside_the_arena(self):
+        source = (
+            "from multiprocessing import shared_memory\n"
+            "seg = shared_memory.SharedMemory(create=True, size=64)\n"
+        )
+        assert rules_of(source, module="repro.megasim.rounds") == ["DET004"]
+        assert rules_of(source, module="repro.sim.engine") == ["DET004"]
+
+    def test_shared_memory_from_import_resolved(self):
+        source = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "seg = SharedMemory(name='x')\n"
+        )
+        assert rules_of(source, module="repro.runtime.node") == ["DET004"]
+
+    def test_arena_is_the_sanctioned_shared_memory_user(self):
+        source = (
+            "from multiprocessing import shared_memory\n"
+            "seg = shared_memory.SharedMemory(create=True, size=64)\n"
+        )
+        assert rules_of(source, module="repro.megasim.arena") == []
+
+    def test_experiment_layer_shared_memory_is_out_of_scope(self):
+        source = (
+            "from multiprocessing import shared_memory\n"
+            "seg = shared_memory.SharedMemory(create=True, size=64)\n"
+        )
+        assert rules_of(source, module="repro.experiments.parallel") == []
+
 
 # -- DET005: unfrozen factories ----------------------------------------------------
 

@@ -1,0 +1,222 @@
+"""Arena lifecycle: packing, attachment, fallback, and segment cleanup."""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import os
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+import repro.megasim.arena as arena_module
+from repro.experiments.parallel import ParallelExecutionError
+from repro.experiments.scenarios import flat_factory
+from repro.failures.gray import GrayFailurePlan
+from repro.megasim.adapter import (
+    DenseTopology,
+    PlaneTopology,
+    UniformTopology,
+    build_views,
+    compile_faults,
+)
+from repro.megasim.arena import (
+    MegasimArena,
+    arena_supported,
+    clear_worker_env,
+    current_env,
+    install_worker_env,
+)
+from repro.megasim.runner import (
+    MegasimSpec,
+    derive_message_seeds,
+    run_megasim,
+)
+from repro.topology.routing import ClientNetworkModel
+
+SPEC = MegasimSpec(
+    strategy_factory=flat_factory(0.7),
+    nodes=200,
+    fanout=5,
+    rounds=6,
+    messages=3,
+    seed=9,
+    topology="plane",
+    view_degree=8,
+    track_links=True,
+)
+
+
+def build_environment(spec=SPEC):
+    topology = PlaneTopology(spec.nodes, seed=spec.seed, side=100.0)
+    views = build_views(
+        spec.nodes, spec.view_degree, np.random.default_rng(1)
+    )
+    faults = compile_faults(
+        spec.nodes,
+        spec.seed,
+        gray=GrayFailurePlan(
+            lossy_link_fraction=0.2, link_loss_probability=0.3
+        ),
+    )
+    seeds = derive_message_seeds(spec)
+    return topology, views, faults, seeds
+
+
+def shm_segments() -> "set[str]":
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:
+        return set()
+
+
+def test_arena_supported_by_topology_kind() -> None:
+    assert arena_supported(PlaneTopology(16, seed=0, side=10.0))
+    assert arena_supported(UniformTopology(16, latency_ms=50.0))
+    assert not arena_supported(DenseTopology(ClientNetworkModel.uniform(4, 50.0)))
+
+
+def test_roundtrip_preserves_every_array() -> None:
+    topology, views, faults, seeds = build_environment()
+    with MegasimArena(SPEC, topology, views, faults, seeds) as arena:
+        install_worker_env(arena.layout)
+        try:
+            env = current_env()
+            px, py = topology.positions
+            np.testing.assert_array_equal(env.topology.positions[0], px)
+            np.testing.assert_array_equal(env.topology.positions[1], py)
+            np.testing.assert_array_equal(env.views, views)
+            np.testing.assert_array_equal(
+                env.faults.lossy_keys, faults.lossy_keys
+            )
+            assert env.faults.loss_probability == faults.loss_probability
+            assert env.seeds == seeds
+            assert env.topology.size == SPEC.nodes
+        finally:
+            # Release the numpy views into the segment before closing
+            # the attachment (a worker process just exits instead).
+            env = None  # noqa: F841
+            clear_worker_env()
+
+
+def test_attached_arrays_are_read_only() -> None:
+    topology, views, faults, seeds = build_environment()
+    with MegasimArena(SPEC, topology, views, faults, seeds) as arena:
+        install_worker_env(arena.layout)
+        try:
+            env = current_env()
+            with pytest.raises(ValueError):
+                env.views[0, 0] = 1
+        finally:
+            env = None  # noqa: F841
+            clear_worker_env()
+
+
+def test_segment_unlinked_on_normal_exit() -> None:
+    topology, views, faults, seeds = build_environment()
+    before = shm_segments()
+    with MegasimArena(SPEC, topology, views, faults, seeds) as arena:
+        name = arena.name
+        if name is not None:
+            assert shm_segments() - before
+    assert shm_segments() - before == set()
+    if name is not None:
+        assert not os.path.exists(f"/dev/shm/{name.lstrip('/')}")
+
+
+def test_close_is_idempotent() -> None:
+    topology, views, faults, seeds = build_environment()
+    arena = MegasimArena(SPEC, topology, views, faults, seeds)
+    arena.close()
+    arena.close()
+    assert arena.name is None or True  # close() must not raise
+
+
+def test_finalizer_reclaims_a_leaked_arena() -> None:
+    topology, views, faults, seeds = build_environment()
+    before = shm_segments()
+    arena = MegasimArena(SPEC, topology, views, faults, seeds)
+    del arena
+    gc.collect()
+    assert shm_segments() - before == set()
+
+
+def test_inline_fallback_without_shared_memory(monkeypatch) -> None:
+    monkeypatch.setattr(arena_module, "shared_memory", None)
+    topology, views, faults, seeds = build_environment()
+    arena = MegasimArena(SPEC, topology, views, faults, seeds)
+    try:
+        assert arena.name is None
+        assert arena.layout.shm_name is None
+        assert arena.layout.inline is not None
+        install_worker_env(arena.layout)
+        try:
+            env = current_env()
+            np.testing.assert_array_equal(env.views, views)
+        finally:
+            clear_worker_env()
+    finally:
+        arena.close()
+
+
+def test_inline_fallback_results_match_shared_memory(monkeypatch) -> None:
+    baseline = run_megasim(SPEC, workers=2, dispatch="arena")
+    monkeypatch.setattr(arena_module, "shared_memory", None)
+    fallback = run_megasim(SPEC, workers=2, dispatch="arena")
+    for left, right in zip(baseline.outcomes, fallback.outcomes):
+        np.testing.assert_array_equal(left.deliver_slot, right.deliver_slot)
+        np.testing.assert_array_equal(left.link_keys, right.link_keys)
+        np.testing.assert_array_equal(left.link_sends, right.link_sends)
+
+
+def _explode(*args, **kwargs):
+    raise RuntimeError("boom: injected mid-batch failure")
+
+
+def test_segment_unlinked_when_worker_raises_mid_batch(monkeypatch) -> None:
+    if multiprocessing.get_start_method() != "fork":
+        pytest.skip("monkeypatching across processes needs fork")
+    import repro.megasim.runner as runner_module
+
+    monkeypatch.setattr(runner_module, "disseminate", _explode)
+    before = shm_segments()
+    with pytest.raises(ParallelExecutionError, match="boom"):
+        run_megasim(SPEC, workers=2, dispatch="arena")
+    assert shm_segments() - before == set()
+
+
+def test_serial_arena_clears_worker_env() -> None:
+    run_megasim(SPEC, workers=1, dispatch="arena")
+    with pytest.raises(RuntimeError):
+        current_env()
+
+
+def test_uniform_topology_needs_no_arrays_beyond_views() -> None:
+    spec = MegasimSpec(
+        strategy_factory=flat_factory(1.0),
+        nodes=64,
+        fanout=4,
+        rounds=5,
+        messages=2,
+        seed=3,
+        topology="uniform",
+        view_degree=6,
+    )
+    topology = UniformTopology(spec.nodes, latency_ms=spec.round_ms)
+    views = build_views(spec.nodes, spec.view_degree, np.random.default_rng(2))
+    seeds = derive_message_seeds(spec)
+    with MegasimArena(spec, topology, views, None, seeds) as arena:
+        names = [name for name, _ in arena.layout.arrays] or (
+            sorted(arena.layout.inline or {})
+        )
+        assert list(names) == ["views"]
+        install_worker_env(arena.layout)
+        try:
+            env = current_env()
+            assert isinstance(env.topology, UniformTopology)
+            assert env.faults is None
+            assert env.topology.round_ms == spec.round_ms
+        finally:
+            env = None  # noqa: F841
+            clear_worker_env()

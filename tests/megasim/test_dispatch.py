@@ -1,0 +1,156 @@
+"""Dispatch equivalence: arena and pickle fan-out must be byte-identical
+for every strategy, worker count, and batch size."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.experiments.scenarios import (
+    flat_factory,
+    hybrid_factory,
+    radius_factory,
+    ranked_factory,
+    ttl_factory,
+)
+from repro.failures.gray import GrayFailurePlan
+from repro.megasim.adapter import DenseTopology
+from repro.megasim.runner import (
+    MegasimResult,
+    MegasimSpec,
+    default_batch_size,
+    run_megasim,
+)
+from repro.topology.routing import ClientNetworkModel
+
+STRATEGIES = {
+    "flat": flat_factory(0.6),
+    "ttl": ttl_factory(2),
+    "radius": radius_factory(metric="distance"),
+    "ranked": ranked_factory(),
+    "hybrid": hybrid_factory(),
+}
+
+
+def spec_for(factory, **overrides) -> MegasimSpec:
+    defaults = dict(
+        strategy_factory=factory,
+        nodes=250,
+        fanout=5,
+        rounds=7,
+        messages=5,
+        seed=13,
+        topology="plane",
+        view_degree=10,
+        track_links=True,
+        gray=GrayFailurePlan(
+            lossy_link_fraction=0.15, link_loss_probability=0.25
+        ),
+    )
+    defaults.update(overrides)
+    return MegasimSpec(**defaults)
+
+
+def fingerprints(result: MegasimResult) -> "list[bytes]":
+    blobs = []
+    for outcome in result.outcomes:
+        blob = (
+            outcome.deliver_slot.tobytes()
+            + outcome.carried_round.tobytes()
+            + outcome.payload_sent.tobytes()
+            + outcome.payload_received.tobytes()
+            + str((outcome.origin, outcome.retries)).encode()
+        )
+        if outcome.link_keys is not None:
+            blob += outcome.link_keys.tobytes()
+            blob += outcome.link_sends.tobytes()
+        blobs.append(blob)
+    return blobs
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+def test_arena_matches_pickle_for_every_strategy(name: str) -> None:
+    spec = spec_for(STRATEGIES[name])
+    pickled = run_megasim(spec, workers=1, dispatch="pickle")
+    arena = run_megasim(spec, workers=2, dispatch="arena")
+    assert fingerprints(pickled) == fingerprints(arena)
+    assert pickled.summary == arena.summary
+    assert pickled.structure == arena.structure
+
+
+@pytest.mark.parametrize("batch_size", [1, 3, 100])
+def test_batch_size_invariance(batch_size: int) -> None:
+    # B=1 (one message per dispatch), B=3 (odd, does not divide 5) and
+    # B=100 (> messages: one batch carries the whole run) must all
+    # reproduce the default batching byte-for-byte.
+    spec = spec_for(STRATEGIES["ttl"])
+    baseline = run_megasim(spec, workers=2, dispatch="arena")
+    probe = run_megasim(
+        spec, workers=2, dispatch="arena", batch_size=batch_size
+    )
+    assert fingerprints(baseline) == fingerprints(probe)
+
+
+def test_worker_count_invariance_across_batch_boundaries() -> None:
+    spec = spec_for(STRATEGIES["flat"])
+    serial = run_megasim(spec, workers=1, dispatch="arena", batch_size=2)
+    pooled = run_megasim(spec, workers=3, dispatch="arena", batch_size=2)
+    assert fingerprints(serial) == fingerprints(pooled)
+
+
+def test_default_batch_size_is_two_waves_per_worker() -> None:
+    assert default_batch_size(64, 4) == 8
+    assert default_batch_size(7, 2) == 2
+    assert default_batch_size(1, 8) == 1
+    assert default_batch_size(100, 1) == 50
+
+
+def test_unknown_dispatch_rejected() -> None:
+    with pytest.raises(ValueError, match="dispatch"):
+        run_megasim(spec_for(STRATEGIES["flat"]), dispatch="carrier-pigeon")
+
+
+def test_arena_dispatch_rejected_for_dense_topology() -> None:
+    model = ClientNetworkModel.uniform(32, 50.0)
+    spec = spec_for(
+        STRATEGIES["flat"],
+        nodes=32,
+        view_degree=None,
+        track_links=False,
+        gray=None,
+    )
+    with pytest.raises(ValueError, match="arena"):
+        run_megasim(spec, topology=DenseTopology(model), dispatch="arena")
+    # Auto mode quietly falls back to the pickled path instead.
+    result = run_megasim(spec, topology=DenseTopology(model))
+    assert len(result.outcomes) == spec.messages
+
+
+def test_bad_batch_size_rejected() -> None:
+    with pytest.raises(ValueError, match="batch_size"):
+        run_megasim(
+            spec_for(STRATEGIES["flat"]), dispatch="arena", batch_size=0
+        )
+
+
+def test_mismatched_views_rejected() -> None:
+    spec = spec_for(STRATEGIES["flat"])
+    wrong = np.zeros((spec.nodes, 3), dtype=np.int32)
+    with pytest.raises(ValueError, match="views"):
+        run_megasim(spec, views=wrong)
+
+
+def test_structure_metrics_follow_link_tracking() -> None:
+    tracked = run_megasim(spec_for(STRATEGIES["ttl"]), dispatch="arena")
+    assert tracked.structure is not None
+    assert 0.0 < tracked.structure.top_link_share <= 1.0
+    assert tracked.structure.used_links > 0
+    assert tracked.structure.effective_degree > 0.0
+    untracked = run_megasim(
+        replace(spec_for(STRATEGIES["ttl"]), track_links=False),
+        dispatch="arena",
+    )
+    assert untracked.structure is None
